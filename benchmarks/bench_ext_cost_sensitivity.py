@@ -1,0 +1,11 @@
+"""Extension: the Figure 19 ranking must survive calibration changes."""
+
+
+def test_ext_cost_sensitivity(run_experiment):
+    result = run_experiment("ext_cost_sensitivity")
+    for row in result.rows:
+        # Under every scenario the dragonfly stays ahead of the FB at
+        # 64K and far ahead of Clos/torus at 16K.
+        assert row["df_vs_fb_64k"] > 0.15, row["scenario"]
+        assert row["df_vs_clos_16k"] > 0.4, row["scenario"]
+        assert row["df_vs_torus_16k"] > 0.4, row["scenario"]

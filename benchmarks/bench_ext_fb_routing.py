@@ -1,0 +1,20 @@
+"""Extension: MIN/VAL/UGAL-L simulated on the flattened butterfly."""
+
+import math
+
+
+def test_ext_fb_routing(run_experiment):
+    result = run_experiment("ext_fb_routing")
+    adversarial = [
+        row for row in result.rows if row["pattern"] == "fb_adversarial"
+    ]
+    beyond_cap = [row for row in adversarial if row["load"] > 0.25]
+    assert beyond_cap
+    for row in beyond_cap:
+        assert math.isinf(row["FB-MIN"]) or row["FB-MIN"] > 100
+        assert not math.isinf(row["FB-UGAL-L"])
+    # On uniform traffic MIN wins and VAL pays its detour.
+    uniform = [row for row in result.rows if row["pattern"] == "uniform_random"]
+    for row in uniform:
+        if not math.isinf(row["FB-VAL"]):
+            assert row["FB-MIN"] <= row["FB-VAL"] + 1e-9

@@ -1,0 +1,15 @@
+"""Extension: every Figure 19 topology driven by the same simulator."""
+
+import math
+
+
+def test_ext_four_topologies(run_experiment):
+    result = run_experiment("ext_four_topologies")
+    topologies = {row["topology"] for row in result.rows}
+    assert topologies == {
+        "dragonfly", "flattened_butterfly", "folded_clos", "torus_3d",
+    }
+    # Every case sustains its configured load with bounded latency.
+    for row in result.rows:
+        assert not math.isinf(row["latency"]), row
+        assert row["accepted"] > 0.9 * row["load"], row

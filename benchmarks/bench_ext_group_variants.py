@@ -1,0 +1,15 @@
+"""Extension: Figure 6(b) group variant simulated against Figure 5."""
+
+import pytest
+
+
+def test_ext_group_variants(run_experiment):
+    result = run_experiment("ext_group_variants")
+    fig5, fig6b = result.rows
+    # Same k=7 router, doubled effective radix and nearly 4x the scale.
+    assert fig5["k"] == fig6b["k"] == 7
+    assert fig6b["k_eff"] == 2 * fig5["k_eff"]
+    assert fig6b["N"] > 3 * fig5["N"]
+    # The MIN worst-case bound follows 1/(a*h).
+    assert fig5["min_wc_accepted"] == pytest.approx(1 / 8, rel=0.2)
+    assert fig6b["min_wc_accepted"] == pytest.approx(1 / 16, rel=0.2)

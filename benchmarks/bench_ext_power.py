@@ -1,0 +1,9 @@
+"""Extension: network power comparison (the paper's closing Section 5 claim)."""
+
+
+def test_ext_power_comparison(run_experiment):
+    result = run_experiment("ext_power")
+    last = result.rows[-1]
+    assert last["dragonfly_w"] < last["folded_clos_w"]
+    assert last["dragonfly_w"] < last["torus_3d_w"]
+    assert last["df_vs_torus"] > 0.5

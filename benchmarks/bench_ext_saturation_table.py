@@ -1,0 +1,13 @@
+"""Extension: measured saturation throughput vs closed-form bounds."""
+
+import pytest
+
+
+def test_ext_saturation_table(run_experiment):
+    result = run_experiment("ext_saturation_table")
+    by_key = {(row["routing"], row["pattern"]): row for row in result.rows}
+    # Bisection resolution is 0.03; allow that plus stochastic slack.
+    for key, row in by_key.items():
+        assert row["measured"] == pytest.approx(
+            row["analytic_bound"], abs=0.06
+        ), key

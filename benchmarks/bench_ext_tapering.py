@@ -1,0 +1,7 @@
+"""Extension: bandwidth tapering of inter-group channels (Section 3.2)."""
+
+
+def test_ext_tapering(run_experiment):
+    result = run_experiment("ext_tapering")
+    assert result.rows[0]["relative_global_cost"] == 1.0
+    assert result.rows[-1]["relative_global_cost"] < 1.0

@@ -1,0 +1,9 @@
+"""Figure 1: router radix required for one-global-hop flat networks."""
+
+
+def test_fig01_radix_requirement(run_experiment):
+    result = run_experiment("fig01")
+    rows = {row["N"]: row["required_radix"] for row in result.rows}
+    # k ~ 2 sqrt(N): the paper's motivating curve.
+    assert rows[10_000] < 210
+    assert rows[1_000_000] > 1000

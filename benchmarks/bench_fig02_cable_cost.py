@@ -1,0 +1,10 @@
+"""Figure 2: electrical vs optical cable cost and the ~10 m crossover."""
+
+
+def test_fig02_cable_cost(run_experiment):
+    result = run_experiment("fig02")
+    by_length = {row["length_m"]: row for row in result.rows}
+    assert by_length[0]["optical"] > by_length[0]["electrical"]
+    assert by_length[100]["optical"] < by_length[100]["electrical"]
+    assert by_length[5]["chosen"] == by_length[5]["electrical"]
+    assert by_length[40]["chosen"] == by_length[40]["optical"]

@@ -1,0 +1,9 @@
+"""Figure 4: balanced dragonfly size vs router radix."""
+
+
+def test_fig04_scalability(run_experiment):
+    result = run_experiment("fig04")
+    by_radix = {row["radix"]: row["N"] for row in result.rows}
+    assert by_radix[7] == 72          # the Figure 5 example
+    assert by_radix[15] == 1056       # the paper's simulated "1K" network
+    assert by_radix[64] > 256_000     # "scales to over 256K nodes"

@@ -1,0 +1,30 @@
+"""Figure 8: MIN / VAL / UGAL-L / UGAL-G latency-vs-load, UR and WC."""
+
+import math
+
+import pytest
+
+
+def test_fig08_routing_comparison(run_experiment):
+    result = run_experiment("fig08")
+    ur = [row for row in result.rows if row["pattern"] == "uniform_random"]
+    wc = [row for row in result.rows if row["pattern"] == "worst_case"]
+
+    # Figure 8(a): UR at high load -- MIN and the UGALs stay low; VAL is
+    # saturated (or far slower) near capacity.
+    high_ur = [row for row in ur if row["load"] >= 0.7]
+    assert high_ur
+    for row in high_ur:
+        assert row["MIN"] < 40
+    val_beyond_half = [row["VAL"] for row in ur if row["load"] > 0.55]
+    assert all(math.isinf(v) or v > 40 for v in val_beyond_half)
+
+    # Figure 8(b): WC -- MIN is saturated well below VAL/UGAL-G; UGAL-L's
+    # intermediate latency exceeds UGAL-G's.
+    for row in wc:
+        if row["load"] >= 0.2:
+            assert math.isinf(row["MIN"]) or row["MIN"] > 60
+        if row["load"] >= 0.4:
+            assert row["UGAL-G"] < 30
+    mid = [row for row in wc if 0.15 <= row["load"] <= 0.4]
+    assert any(row["UGAL-L"] > 2 * row["UGAL-G"] for row in mid)

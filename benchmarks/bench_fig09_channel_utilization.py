@@ -1,0 +1,16 @@
+"""Figure 9: global channel utilisation under WC traffic at load 0.2."""
+
+
+def test_fig09_channel_utilization(run_experiment):
+    result = run_experiment("fig09")
+    rows = {row["routing"]: row for row in result.rows}
+    ugal_l, ugal_g = rows["UGAL-L"], rows["UGAL-G"]
+    # UGAL-L pins the minimal channel at saturation...
+    assert ugal_l["minimal_channel"] > 0.9
+    # ... and starves the non-minimal channels that share its router.
+    assert ugal_l["same_router_nonminimal"] < 0.75 * ugal_l["other_nonminimal"]
+    # UGAL-G prefers the minimal channel but balances the rest.
+    assert ugal_g["minimal_channel"] > ugal_g["other_nonminimal"]
+    assert abs(
+        ugal_g["same_router_nonminimal"] - ugal_g["other_nonminimal"]
+    ) < 0.1

@@ -1,0 +1,27 @@
+"""Figure 10: UGAL-L_VC and UGAL-L_VCH vs UGAL-L / UGAL-G."""
+
+import math
+
+
+def test_fig10_vc_discrimination(run_experiment):
+    result = run_experiment("fig10")
+    ur = [row for row in result.rows if row["pattern"] == "uniform_random"]
+    wc = [row for row in result.rows if row["pattern"] == "worst_case"]
+
+    # Figure 10(b): on WC both VC variants sustain the load range where
+    # UGAL-G does.
+    top_wc = max(row["load"] for row in wc)
+    for row in wc:
+        if row["load"] == top_wc and not math.isinf(row["UGAL-G"]):
+            assert not math.isinf(row["UGAL-L_VC"])
+            assert not math.isinf(row["UGAL-L_VCH"])
+
+    # Figure 10(a): on UR near saturation UGAL-L_VC loses throughput
+    # (accepted load visibly below offered) while UGAL-L_VCH keeps it.
+    near_saturation = [row for row in ur if row["load"] >= 0.85]
+    assert near_saturation
+    for row in near_saturation:
+        vc_accepted = row["UGAL-L_VC:accepted"]
+        vch_accepted = row["UGAL-L_VCH:accepted"]
+        assert vc_accepted < row["load"] - 0.05
+        assert vch_accepted > vc_accepted + 0.03

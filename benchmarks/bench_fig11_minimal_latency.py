@@ -1,0 +1,30 @@
+"""Figure 11: UGAL-L minimal- vs non-minimal-packet latency, buffers 16/256."""
+
+import math
+
+
+def test_fig11_minimal_packet_latency(run_experiment):
+    result = run_experiment("fig11")
+
+    def finite(rows, key):
+        return [row for row in rows if not math.isinf(row[key])]
+
+    shallow = finite(
+        [row for row in result.rows if row["buffer_depth"] == 16], "minimal"
+    )
+    deep = finite(
+        [row for row in result.rows if row["buffer_depth"] == 256], "minimal"
+    )
+    assert shallow and deep
+
+    # Minimal packets pay far more than non-minimal ones at load >= 0.2.
+    for row in shallow:
+        if row["load"] >= 0.2:
+            assert row["minimal"] > 2 * row["nonminimal"]
+
+    # ... and the penalty scales with buffer depth (compare same loads).
+    deep_by_load = {row["load"]: row for row in deep}
+    for row in shallow:
+        other = deep_by_load.get(row["load"])
+        if other is not None and row["load"] >= 0.2:
+            assert other["minimal"] > 3 * row["minimal"]

@@ -1,0 +1,18 @@
+"""Figure 12: bimodal latency histogram of UGAL-L at load 0.25."""
+
+
+def test_fig12_latency_histogram(run_experiment):
+    result = run_experiment("fig12")
+    for depth in (16, 256):
+        rows = [row for row in result.rows if row["buffer_depth"] == depth]
+        assert rows
+        # The low-latency mass is dominated by non-minimal packets, the
+        # high-latency tail by minimal packets (the paper's two modes).
+        low = min(rows, key=lambda row: row["bin_start"])
+        high = max(rows, key=lambda row: row["bin_start"])
+        assert low["minimal_fraction_in_bin"] < 0.5
+        assert high["minimal_fraction_in_bin"] > 0.5
+    # Deeper buffers push the average up (the paper: 19.2 -> 39.19).
+    avg16 = next(r["avg_latency"] for r in result.rows if r["buffer_depth"] == 16)
+    avg256 = next(r["avg_latency"] for r in result.rows if r["buffer_depth"] == 256)
+    assert avg256 > 1.5 * avg16

@@ -1,0 +1,17 @@
+"""Figure 14: UGAL-L intermediate latency vs input buffer depth."""
+
+import math
+
+
+def test_fig14_buffer_depth(run_experiment):
+    result = run_experiment("fig14")
+    # At an intermediate load, latency increases monotonically-ish with
+    # buffer depth (stiffer backpressure with shallower buffers).
+    at_load = {}
+    for row in result.rows:
+        if row["load"] == 0.3 and not math.isinf(row["latency"]):
+            at_load[row["buffer_depth"]] = row["latency"]
+    depths = sorted(at_load)
+    assert len(depths) >= 3
+    assert at_load[depths[0]] < at_load[depths[-1]]
+    assert at_load[depths[-1]] > 1.5 * at_load[depths[0]]

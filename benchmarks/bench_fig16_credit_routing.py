@@ -1,0 +1,44 @@
+"""Figure 16: UGAL-L_CR vs UGAL-L_VCH vs UGAL-G, WC/UR, buffers 16/256."""
+
+import math
+
+
+def _finite(rows, *keys):
+    return [
+        row for row in rows if all(not math.isinf(row[key]) for key in keys)
+    ]
+
+
+def test_fig16_credit_round_trip_routing(run_experiment):
+    result = run_experiment("fig16")
+    wc = [row for row in result.rows if row["pattern"] == "worst_case"]
+
+    # Figure 16(a): at 16-flit buffers, UGAL-L_CR cuts intermediate
+    # latency by >= 35% vs UGAL-L_VCH.
+    mid16 = _finite(
+        [r for r in wc if r["buffer_depth"] == 16 and 0.2 <= r["load"] <= 0.4],
+        "UGAL-L_VCH", "UGAL-L_CR",
+    )
+    assert mid16
+    assert any(r["UGAL-L_CR"] < 0.65 * r["UGAL-L_VCH"] for r in mid16)
+
+    # Figure 16(b): at 256-flit buffers the reduction is dramatic (the
+    # paper reports up to ~20x; we assert >= 4x).
+    mid256 = _finite(
+        [r for r in wc if r["buffer_depth"] == 256 and 0.2 <= r["load"] <= 0.4],
+        "UGAL-L_VCH", "UGAL-L_CR",
+    )
+    assert mid256
+    assert any(r["UGAL-L_CR"] < r["UGAL-L_VCH"] / 4 for r in mid256)
+
+    # UGAL-L_CR's latency is far less buffer-sensitive than UGAL-L_VCH's.
+    def growth(name):
+        by_load_16 = {r["load"]: r[name] for r in mid16}
+        growths = []
+        for row in mid256:
+            base = by_load_16.get(row["load"])
+            if base and not math.isinf(base):
+                growths.append(row[name] / base)
+        return min(growths) if growths else math.inf
+
+    assert growth("UGAL-L_CR") < growth("UGAL-L_VCH")

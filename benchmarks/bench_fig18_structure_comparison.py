@@ -1,0 +1,15 @@
+"""Figure 18: 64K-node dragonfly vs flattened butterfly structure."""
+
+import pytest
+
+
+def test_fig18_structure_comparison(run_experiment):
+    result = run_experiment("fig18")
+    fb, df = result.rows
+    assert fb["topology"] == "flattened butterfly"
+    assert df["topology"] == "dragonfly"
+    # The dragonfly needs ~half the global cables for the same bisection.
+    assert df["global_cables"] / fb["global_cables"] == pytest.approx(0.5, abs=0.1)
+    # ... and a much smaller global-port fraction (25% vs 50% against the
+    # paper's 64-port budget; 34% vs 49% against the wired radix).
+    assert df["global_port_frac"] < 0.75 * fb["global_port_frac"]

@@ -1,0 +1,18 @@
+"""Figure 19: $/node vs network size for the four topologies."""
+
+
+def test_fig19_cost_comparison(run_experiment):
+    result = run_experiment("fig19", quick=False)
+    first, last = result.rows[0], result.rows[-1]
+    # Identical to the flattened butterfly when fully connected (<~1K).
+    assert abs(first["df_vs_fb"]) < 0.02
+    # Cheaper than the flattened butterfly at scale (paper: ~20%).
+    assert last["df_vs_fb"] > 0.15
+    # Over half the folded-Clos cost saved at >= 4K (paper: 52%).
+    for row in result.rows:
+        if row["N"] >= 4096:
+            assert 0.40 < row["df_vs_clos"] < 0.65
+    # Large savings vs the 3-D torus (paper: ~47-62%).
+    for row in result.rows:
+        if row["N"] >= 4096:
+            assert row["df_vs_torus"] > 0.40

@@ -1,0 +1,41 @@
+"""Microbenchmark: simulator cycle rate on the two paper networks.
+
+Unlike the figure benches (timed once, result-focused), this one uses
+pytest-benchmark's statistics to track the simulator's raw speed --
+useful for spotting performance regressions in the switch loop.
+"""
+
+from repro.core.params import DragonflyParams
+from repro.network.config import SimulationConfig
+from repro.network.simulator import Simulator
+from repro.network.traffic import make_pattern
+from repro.routing.ugal import make_routing
+from repro.topology.dragonfly import Dragonfly
+
+
+def _run_once(topology, cycles=300):
+    config = SimulationConfig(
+        load=0.3,
+        warmup_cycles=cycles,
+        measure_cycles=cycles,
+        drain_max_cycles=10 * cycles,
+    )
+    pattern = make_pattern("uniform_random", topology, seed=7)
+    simulator = Simulator(topology, make_routing("UGAL-L_VCH"), pattern, config)
+    return simulator.run()
+
+
+def test_simulator_speed_72_nodes(benchmark):
+    topology = Dragonfly(DragonflyParams.paper_example_72())
+    result = benchmark.pedantic(
+        lambda: _run_once(topology), rounds=3, iterations=1
+    )
+    assert result.drained
+
+
+def test_simulator_speed_1k_nodes(benchmark):
+    topology = Dragonfly(DragonflyParams.paper_1k())
+    result = benchmark.pedantic(
+        lambda: _run_once(topology, cycles=100), rounds=1, iterations=1
+    )
+    assert result.samples

@@ -1,0 +1,12 @@
+"""Table 2: hop-count and cable-length expressions, DF vs FB."""
+
+
+def test_table2_topology_comparison(run_experiment):
+    result = run_experiment("table2")
+    fb, df = result.rows
+    assert fb["minimal_diameter"] == "1*hl + 2*hg"
+    assert df["minimal_diameter"] == "2*hl + 1*hg"
+    assert fb["nonminimal_diameter"] == "2*hl + 4*hg"
+    assert df["nonminimal_diameter"] == "3*hl + 2*hg"
+    assert fb["avg_cable"] == "0.333*E"
+    assert df["avg_cable"] == "0.667*E"

@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper via the
+experiment registry, times it with pytest-benchmark, prints the rows
+(bypassing capture so they land in the console / tee'd log), and saves
+them under ``benchmarks/results/`` for the record.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def report(capfd):
+    """Print a block of text to the real terminal and archive it."""
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capfd.disabled():
+            print()
+            print(text)
+
+    return _report
+
+
+@pytest.fixture()
+def run_experiment(benchmark, report):
+    """Run a registered experiment once under the benchmark timer."""
+
+    def _run(experiment_id: str, quick: bool = True):
+        from repro.experiments import get_experiment
+
+        experiment = get_experiment(experiment_id)
+        result = benchmark.pedantic(
+            lambda: experiment.run(quick=quick), rounds=1, iterations=1
+        )
+        report(experiment_id, result.format_table())
+        return result
+
+    return _run

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Application-style workloads on the dragonfly (extension).
+
+The paper motivates interconnects by application-level remote-memory
+performance.  This example runs bulk-synchronous communication kernels
+(halo exchange, transpose, reduction, adversarial neighbour exchange)
+to completion under three routing algorithms and reports the metric
+applications actually feel: phase completion time.
+
+Run:  python examples/application_workloads.py
+"""
+
+from repro import make_dragonfly
+from repro.network.workloads import run_workload, standard_workloads
+from repro.viz import bar_chart
+
+
+def main() -> None:
+    topology = make_dragonfly(p=2, a=4, h=2)
+    print("network:", topology.describe())
+    print()
+
+    algorithms = ("MIN", "UGAL-L", "UGAL-L_CR")
+    workloads = standard_workloads(topology.num_terminals)
+
+    print(f"{'workload':22s} " + " ".join(f"{name:>11s}" for name in algorithms))
+    totals = {name: 0 for name in algorithms}
+    for workload in workloads:
+        cells = []
+        for name in algorithms:
+            result = run_workload(topology, name, workload)
+            suffix = "" if result.completed else "*"
+            totals[name] += result.total_cycles
+            cells.append(f"{result.total_cycles:>10d}{suffix or ' '}")
+        print(f"{workload.name:22s} " + " ".join(cells))
+    print()
+
+    print(bar_chart(
+        {name: totals[name] for name in algorithms},
+        title="aggregate completion time over all kernels (cycles, lower is better)",
+        unit=" cycles",
+    ))
+    print()
+    print("Adaptive routing pays a small price on benign kernels (extra")
+    print("misroutes) and wins decisively on the adversarial exchange --")
+    print("the application-level consequence of the paper's Figure 8/16.")
+
+
+if __name__ == "__main__":
+    main()

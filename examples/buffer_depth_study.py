@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Buffer depth, backpressure stiffness and credit round-trip sensing
+(paper Figures 11, 14 and 16).
+
+Demonstrates the indirect-congestion pathology: UGAL-L's minimally
+routed packets must fill the buffers between source and congestion point
+before the source router notices, so their latency scales with buffer
+depth.  The paper's credit round-trip mechanism (UGAL-L_CR) delays
+returned credits in proportion to measured congestion, giving the
+"appearance of shallower buffers" without losing their capacity.
+
+Run:  python examples/buffer_depth_study.py
+"""
+
+from repro import SimulationConfig, make_dragonfly, make_routing
+from repro.network.sweep import run_point
+
+
+def run(topology, routing, depth, load=0.3, warmup=1000):
+    config = SimulationConfig(
+        load=load,
+        warmup_cycles=warmup if depth <= 64 else 5 * warmup,
+        measure_cycles=1000,
+        drain_max_cycles=20_000,
+        vc_buffer_depth=depth,
+    )
+    return run_point(topology, make_routing(routing), "worst_case", config)
+
+
+def main() -> None:
+    topology = make_dragonfly(p=2, a=4, h=2)
+    print("network:", topology.describe())
+    print("worst-case traffic at offered load 0.3")
+    print()
+
+    print("1. UGAL-L: minimal-packet latency tracks buffer depth (Fig 11/14)")
+    print(f"   {'depth':>6} {'avg':>9} {'minimal':>9} {'non-min':>9}")
+    for depth in (4, 16, 64, 256):
+        result = run(topology, "UGAL-L", depth)
+        print(
+            f"   {depth:>6} {result.avg_latency:>9.1f} "
+            f"{result.avg_minimal_latency:>9.1f} "
+            f"{result.avg_nonminimal_latency:>9.1f}"
+        )
+    print()
+
+    print("2. UGAL-L_CR: credit round-trip sensing damps the effect (Fig 16)")
+    print(f"   {'depth':>6} {'VCH avg':>9} {'CR avg':>9} {'reduction':>10}")
+    for depth in (16, 64, 256):
+        vch = run(topology, "UGAL-L_VCH", depth)
+        cr = run(topology, "UGAL-L_CR", depth)
+        reduction = 1 - cr.avg_latency / vch.avg_latency
+        print(
+            f"   {depth:>6} {vch.avg_latency:>9.1f} {cr.avg_latency:>9.1f} "
+            f"{reduction:>10.0%}"
+        )
+    print()
+    print("The paper reports a 35% reduction at 16-flit buffers and up to")
+    print("20x at 256; the ideal UGAL-G sits near 5.5 cycles throughout.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Technology-driven cost analysis (paper Sections 2 and 5).
+
+Walks through the cost argument of the paper:
+
+1. the electrical/optical cable cost lines and their crossover,
+2. the packaging/floor-plan model,
+3. the $/node comparison of dragonfly vs flattened butterfly vs folded
+   Clos vs 3-D torus across machine sizes (Figure 19).
+
+Run:  python examples/cost_analysis.py
+"""
+
+from repro.cost import (
+    CostConfig,
+    DragonflyCost,
+    FloorPlan,
+    PackagingConfig,
+    cable_cost_per_gbps,
+    cost_comparison,
+    crossover_length_m,
+    electrical_cost_per_gbps,
+    optical_cost_per_gbps,
+)
+
+
+def show_cable_economics() -> None:
+    print("1. Cable economics (Figure 2)")
+    print(f"   electrical: $/Gb/s = 1.4*L + 2.16")
+    print(f"   optical:    $/Gb/s = 0.364*L + 9.71")
+    print(f"   lines cross at {crossover_length_m():.2f} m")
+    for length in (1, 5, 10, 25, 50):
+        print(
+            f"   {length:3d} m: electrical ${electrical_cost_per_gbps(length):6.2f}  "
+            f"optical ${optical_cost_per_gbps(length):6.2f}  "
+            f"-> pay ${cable_cost_per_gbps(length):6.2f} per Gb/s"
+        )
+    print()
+
+
+def show_packaging() -> None:
+    print("2. Packaging (a 16K-node machine room)")
+    packaging = PackagingConfig()
+    plan = FloorPlan.for_terminals(16384, packaging)
+    print(
+        f"   {plan.num_cabinets} cabinets of {packaging.terminals_per_cabinet} "
+        f"nodes on a {plan.rows}x{plan.columns} grid"
+    )
+    print(f"   longest cable run: {plan.max_cable_length():.1f} m")
+    print(f"   average cabinet-pair run: {plan.average_pair_distance():.1f} m")
+    print()
+
+
+def show_dragonfly_anatomy() -> None:
+    print("3. Where a 16K dragonfly's money goes")
+    model = DragonflyCost(16384, CostConfig())
+    breakdown = model.breakdown()
+    print(f"   configuration: p={model.p}, a={model.a}, h={model.h}, g={model.g}")
+    n = breakdown.num_terminals
+    print(f"   routers:            ${breakdown.router_dollars / n:7.2f} /node")
+    print(f"   backplane links:    ${breakdown.backplane_dollars / n:7.2f} /node")
+    print(f"   electrical cables:  ${breakdown.electrical_cable_dollars / n:7.2f} /node")
+    print(f"   optical cables:     ${breakdown.optical_cable_dollars / n:7.2f} /node")
+    print(f"   total:              ${breakdown.dollars_per_node:7.2f} /node")
+    print()
+
+
+def show_figure19() -> None:
+    print("4. Topology comparison (Figure 19), $/node")
+    sizes = [512, 1024, 4096, 8192, 16384, 65536]
+    results = cost_comparison(sizes)
+    print(f"   {'N':>6} {'dragonfly':>10} {'flat.bfly':>10} {'clos':>10} {'torus':>10}")
+    for i, n in enumerate(sizes):
+        print(
+            f"   {n:>6}"
+            f" {results['dragonfly'][i].dollars_per_node:>10.1f}"
+            f" {results['flattened_butterfly'][i].dollars_per_node:>10.1f}"
+            f" {results['folded_clos'][i].dollars_per_node:>10.1f}"
+            f" {results['torus_3d'][i].dollars_per_node:>10.1f}"
+        )
+    df = results["dragonfly"][-1].dollars_per_node
+    fb = results["flattened_butterfly"][-1].dollars_per_node
+    clos = results["folded_clos"][-1].dollars_per_node
+    print()
+    print(
+        f"   at 64K nodes the dragonfly saves {1 - df / fb:.0%} vs the "
+        f"flattened butterfly and {1 - df / clos:.0%} vs the folded Clos"
+    )
+    print("   (paper: ~20% and ~52%)")
+
+
+def main() -> None:
+    show_cable_economics()
+    show_packaging()
+    show_dragonfly_anatomy()
+    show_figure19()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: build a dragonfly, route on it, and simulate traffic.
+
+Builds the paper's Figure 5 example network (p = h = 2, a = 4: 72
+terminals in 9 groups of 4 radix-7 routers), inspects its structure, and
+runs the cycle-accurate simulator with adaptive routing under uniform
+random traffic.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DragonflyParams,
+    SimulationConfig,
+    make_dragonfly,
+    make_routing,
+)
+from repro.network.sweep import run_point
+
+
+def main() -> None:
+    # 1. Describe and build the topology. ------------------------------
+    params = DragonflyParams(p=2, a=4, h=2)  # the paper's Figure 5
+    print("parameters:", params.describe())
+    print("  balanced (a = 2p = 2h):", params.is_balanced)
+    print("  router radix k:", params.radix)
+    print("  virtual-router radix k':", params.effective_radix)
+
+    topology = make_dragonfly(p=2, a=4, h=2)
+    print("topology:  ", topology.describe())
+    print("  router-graph diameter:", topology.fabric.router_diameter(), "hops")
+
+    # 2. Configure the simulation methodology. -------------------------
+    config = SimulationConfig(
+        load=0.5,              # flits/terminal/cycle, Bernoulli injection
+        warmup_cycles=1000,
+        measure_cycles=1000,
+        vc_buffer_depth=16,    # the paper's default input buffers
+    )
+
+    # 3. Simulate the routing algorithms of the paper. -----------------
+    print()
+    print(f"uniform random traffic at offered load {config.load}:")
+    for name in ("MIN", "VAL", "UGAL-L", "UGAL-G", "UGAL-L_CR"):
+        result = run_point(topology, make_routing(name), "uniform_random", config)
+        print(
+            f"  {name:10s} avg latency {result.avg_latency:7.2f} cycles, "
+            f"accepted {result.accepted_load:.3f}, "
+            f"{100 * result.minimal_fraction:5.1f}% routed minimally"
+        )
+
+    print()
+    print("Key takeaway (paper Figure 8a): on benign traffic MIN and the")
+    print("UGAL variants deliver full throughput; VAL wastes half the")
+    print("capacity on its detour through a random intermediate group.")
+
+
+if __name__ == "__main__":
+    main()

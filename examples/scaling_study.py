@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Scaling study: how far the dragonfly reaches (paper Figures 1 and 4).
+
+Shows why high radix matters (the ~2*sqrt(N) port requirement of flat
+one-hop networks), how the virtual-router trick sidesteps it, and what
+the group variants of Figure 6 buy.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.core.params import DragonflyParams, required_radix_single_hop
+from repro.core.scaling import dragonfly_scalability_curve
+from repro.topology.group_variants import FlattenedButterflyGroupDragonfly
+
+
+def show_flat_network_problem() -> None:
+    print("1. The problem (Figure 1): a flat one-global-hop network needs")
+    print("   k ~ 2*sqrt(N) router ports")
+    for n in (1_000, 10_000, 100_000, 1_000_000):
+        print(f"   N = {n:>9,d}  ->  radix {required_radix_single_hop(n):>5d}")
+    print()
+
+
+def show_dragonfly_answer() -> None:
+    print("2. The answer (Figure 4): groups as virtual routers")
+    print(f"   {'radix':>5} {'(p,a,h)':>12} {'groups':>7} {'N':>9} {'k_eff':>6}")
+    for point in dragonfly_scalability_curve([7, 15, 31, 63]):
+        params = point.params
+        print(
+            f"   {point.radix:>5} "
+            f"{f'({params.p},{params.a},{params.h})':>12} "
+            f"{params.g:>7} {params.num_terminals:>9,d} "
+            f"{params.effective_radix:>6}"
+        )
+    print("   radix-64 routers reach >256K terminals at network diameter 3.")
+    print()
+
+
+def show_group_variants() -> None:
+    print("3. Stretching a fixed k=7 router (Figure 6)")
+    baseline = DragonflyParams.paper_example_72()
+    print(
+        f"   figure 5 (fully connected group):    a={baseline.a:<3d} "
+        f"k'={baseline.effective_radix:<4d} N={baseline.num_terminals}"
+    )
+    cube = FlattenedButterflyGroupDragonfly(p=2, group_dims=(2, 2, 2), h=2)
+    print(
+        f"   figure 6b (2x2x2 cube group):        a={cube.a:<3d} "
+        f"k'={cube.effective_radix:<4d} N={cube.num_terminals}"
+    )
+    print("   a 3-D flattened-butterfly group doubles the effective radix")
+    print("   (16 -> 32) with the same radix-7 router, at the cost of up")
+    print("   to three local hops inside a group.")
+    print()
+
+
+def show_non_maximal_sizing() -> None:
+    print("4. Right-sizing: non-maximal dragonflies")
+    full = DragonflyParams(p=4, a=8, h=4)
+    partial = DragonflyParams(p=4, a=8, h=4, num_groups=17)
+    print(f"   maximum size:  {full.describe()}")
+    print(f"   half the groups: {partial.describe()}")
+    print(
+        f"   with {partial.g} groups every pair gets at least "
+        f"{partial.min_channels_between_group_pairs()} parallel global "
+        f"channels (vs 1 at maximum size)"
+    )
+
+
+def main() -> None:
+    show_flat_network_problem()
+    show_dragonfly_answer()
+    show_group_variants()
+    show_non_maximal_sizing()
+
+
+if __name__ == "__main__":
+    main()

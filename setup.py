@@ -1,0 +1,6 @@
+"""Shim for environments without the ``wheel`` package (legacy editable
+installs via ``pip install -e . --no-use-pep517`` or ``setup.py develop``)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""repro -- reproduction of the ISCA 2008 dragonfly topology paper.
+
+Public API highlights:
+
+* :class:`repro.DragonflyParams` / :func:`repro.make_dragonfly` -- build
+  dragonfly networks of any ``(p, a, h, g)``.
+* :func:`repro.make_routing` -- MIN, VAL and the UGAL family including
+  the paper's new UGAL-L_VCH and UGAL-L_CR indirect adaptive variants.
+* :class:`repro.Simulator` / :func:`repro.load_sweep` -- cycle-accurate
+  evaluation under synthetic traffic.
+* :mod:`repro.cost` -- the technology-driven cable/packaging cost model.
+* :mod:`repro.experiments` -- one entry per paper table and figure.
+"""
+
+from .core import DragonflyParams, TopologyError
+from .network import (
+    SimulationConfig,
+    SimulationResult,
+    Simulator,
+    load_sweep,
+    make_pattern,
+    saturation_load,
+    simulate,
+)
+from .routing import ALL_ROUTING_NAMES, make_routing
+from .topology import (
+    ChannelKind,
+    Dragonfly,
+    FlattenedButterfly,
+    FoldedClos,
+    Torus,
+    make_dragonfly,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DragonflyParams",
+    "TopologyError",
+    "SimulationConfig",
+    "SimulationResult",
+    "Simulator",
+    "load_sweep",
+    "make_pattern",
+    "saturation_load",
+    "simulate",
+    "ALL_ROUTING_NAMES",
+    "make_routing",
+    "ChannelKind",
+    "Dragonfly",
+    "FlattenedButterfly",
+    "FoldedClos",
+    "Torus",
+    "make_dragonfly",
+    "__version__",
+]

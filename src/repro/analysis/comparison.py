@@ -1,0 +1,110 @@
+"""Structural 64K-node comparison of dragonfly vs flattened butterfly
+(Figure 18).
+
+The paper compares a 64K-terminal dragonfly (groups of 16 routers = 256
+terminals, all groups connected in one large dimension of effective radix
+256) against a 64K 3-D flattened butterfly (dimensions of 16, plus the
+concentration of 16).  The headline results:
+
+* both provide the same global bisection bandwidth, but the dragonfly
+  needs only **half** the number of global cables;
+* the flattened butterfly spends **50%** of its router ports on global
+  channels, the dragonfly only **25%**.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class StructureSummary:
+    """Cable/port structure of one topology at a given scale."""
+
+    topology: str
+    num_terminals: int
+    num_routers: int
+    router_radix: int
+    terminal_ports_per_router: int
+    local_ports_per_router: int
+    global_ports_per_router: int
+    num_local_cables: int
+    num_global_cables: int
+
+    @property
+    def global_port_fraction(self) -> float:
+        return self.global_ports_per_router / self.router_radix
+
+    @property
+    def global_cables_per_node(self) -> float:
+        return self.num_global_cables / self.num_terminals
+
+    def summary(self) -> str:
+        return (
+            f"{self.topology:20s} routers={self.num_routers:5d} k={self.router_radix:2d} "
+            f"global ports {self.global_ports_per_router:2d}/{self.router_radix} "
+            f"({100 * self.global_port_fraction:.0f}%), "
+            f"global cables {self.num_global_cables} "
+            f"({self.global_cables_per_node:.3f}/node)"
+        )
+
+
+def dragonfly_structure(
+    p: int = 16,
+    a: int = 16,
+    num_terminals: int = 65536,
+) -> StructureSummary:
+    """Figure 18(b): groups of ``a`` routers, one global dimension.
+
+    Every group needs a connection to each other group, so each router
+    carries ``h = (g - 1) / a`` global channels.
+    """
+    terminals_per_group = a * p
+    num_groups = math.ceil(num_terminals / terminals_per_group)
+    h = math.ceil((num_groups - 1) / a)
+    num_routers = a * num_groups
+    radix = p + (a - 1) + h
+    return StructureSummary(
+        topology="dragonfly",
+        num_terminals=num_groups * terminals_per_group,
+        num_routers=num_routers,
+        router_radix=radix,
+        terminal_ports_per_router=p,
+        local_ports_per_router=a - 1,
+        global_ports_per_router=h,
+        num_local_cables=num_groups * (a * (a - 1) // 2),
+        num_global_cables=num_groups * a * h // 2,
+    )
+
+
+def flattened_butterfly_structure(
+    concentration: int = 16,
+    dim_size: int = 16,
+    num_dims: int = 3,
+) -> StructureSummary:
+    """Figure 18(a): dimension 1 is local (intra-cabinet), higher
+    dimensions are global."""
+    num_routers = dim_size**num_dims
+    num_terminals = concentration * num_routers
+    local_ports = dim_size - 1
+    global_ports = (num_dims - 1) * (dim_size - 1)
+    radix = concentration + local_ports + global_ports
+    cables_per_dim = num_routers * (dim_size - 1) // 2
+    return StructureSummary(
+        topology="flattened butterfly",
+        num_terminals=num_terminals,
+        num_routers=num_routers,
+        router_radix=radix,
+        terminal_ports_per_router=concentration,
+        local_ports_per_router=local_ports,
+        global_ports_per_router=global_ports,
+        num_local_cables=cables_per_dim,
+        num_global_cables=(num_dims - 1) * cables_per_dim,
+    )
+
+
+def figure18_comparison() -> List[StructureSummary]:
+    """The paper's 64K comparison: FB needs 2x the global cables."""
+    return [flattened_butterfly_structure(), dragonfly_structure()]

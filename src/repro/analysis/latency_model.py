@@ -1,0 +1,92 @@
+"""Analytic zero-load latency model.
+
+At vanishing load a packet's latency is deterministic: channel flight
+times along its route, plus serialisation of its flits, plus the ejection
+latency.  This model computes expected zero-load latency for the
+dragonfly's routing algorithms and is cross-validated against the
+simulator by the test suite -- a calibration anchor for every
+latency-vs-load figure.
+
+Hop-count expectations over uniform random traffic on a maximum-size
+dragonfly (per Section 3.1's structure):
+
+* probability the destination shares the router: ``(p-1)/(N-1)``;
+* shares the group: ``(ap-1)/(N-1)`` (one local hop unless same router);
+* otherwise one global hop plus local hops at each end, each present
+  unless the source/destination router happens to own the chosen global
+  channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.params import DragonflyParams
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Zero-load latency calculator for a dragonfly configuration."""
+
+    params: DragonflyParams
+    local_latency: int = 1
+    global_latency: int = 1
+    terminal_latency: int = 1
+    packet_size: int = 1
+
+    # ------------------------------------------------------------------
+    # Hop-count expectations (uniform random traffic)
+    # ------------------------------------------------------------------
+    def probability_same_router(self) -> float:
+        n = self.params.num_terminals
+        return (self.params.p - 1) / (n - 1)
+
+    def probability_same_group(self) -> float:
+        """Same group but a different router."""
+        n = self.params.num_terminals
+        return (self.params.terminals_per_group - self.params.p) / (n - 1)
+
+    def probability_cross_group(self) -> float:
+        return 1.0 - self.probability_same_router() - self.probability_same_group()
+
+    def expected_minimal_local_hops(self) -> float:
+        """Expected local-channel traversals of a minimal route (UR)."""
+        params = self.params
+        same_group = self.probability_same_group()
+        cross = self.probability_cross_group()
+        # Crossing routes take a local hop at each end unless the
+        # corresponding endpoint router owns the global channel: the
+        # source side is direct with probability h/(a*h) = 1/a per
+        # candidate group (one channel somewhere in the group), and
+        # symmetrically at the destination.
+        p_direct = 1.0 / params.a
+        cross_local = 2.0 - 2.0 * p_direct
+        return same_group * 1.0 + cross * cross_local
+
+    def expected_minimal_global_hops(self) -> float:
+        return self.probability_cross_group()
+
+    def expected_minimal_latency(self) -> float:
+        """Expected zero-load packet latency under MIN routing (UR)."""
+        flight = (
+            self.expected_minimal_local_hops() * self.local_latency
+            + self.expected_minimal_global_hops() * self.global_latency
+        )
+        serialisation = self.packet_size - 1
+        return flight + serialisation + self.terminal_latency
+
+    def worst_case_minimal_latency(self) -> float:
+        """Latency of the longest minimal route (local+global+local)."""
+        hops = 0.0
+        if self.params.a > 1:
+            hops += 2 * self.local_latency
+        if self.params.g > 1:
+            hops += self.global_latency
+        return hops + (self.packet_size - 1) + self.terminal_latency
+
+    def valiant_extra_latency(self) -> float:
+        """Expected extra zero-load latency of VAL over MIN (UR): one
+        more global hop plus roughly one more local hop."""
+        fraction_detoured = (self.params.g - 2) / max(1, self.params.g - 1)
+        per_detour = self.global_latency + self.local_latency
+        return fraction_detoured * self.probability_cross_group() * per_detour

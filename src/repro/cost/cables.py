@@ -1,0 +1,118 @@
+"""Signalling technology and cable cost models (Section 2).
+
+Encodes Table 1 (active optical vs electrical cable characteristics) and
+the Figure 2 cost-versus-length lines:
+
+* electrical (with repeaters):  ``$/Gb/s = 1.4 * L + 2.16``
+* active optical:               ``$/Gb/s = 0.364 * L + 9.7103``
+
+Optical cables have the higher fixed cost (transceivers integrated into
+the cable) but the lower per-metre cost; the lines cross near 10 m.  The
+paper's Figure 19 methodology prices cables shorter than 8 m with the
+electrical model and longer cables with the optical model -- exposed here
+as :func:`cable_cost_per_gbps`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Fitted cost lines from Figure 2 ($ per Gb/s as a function of metres).
+ELECTRICAL_FIXED = 2.16
+ELECTRICAL_PER_METER = 1.4
+OPTICAL_FIXED = 9.7103
+OPTICAL_PER_METER = 0.364
+
+#: Length threshold of the paper's Figure 19 methodology: electrical
+#: below, optical above.
+DEFAULT_CROSSOVER_M = 8.0
+
+
+@dataclass(frozen=True)
+class CableTechnology:
+    """One row of Table 1 (characteristics of 4x cables)."""
+
+    name: str
+    max_length_m: float
+    data_rate_gbps: float
+    power_w: float
+    energy_per_bit_pj: float
+    medium: str
+
+
+#: Table 1 of the paper.
+INTEL_CONNECTS = CableTechnology(
+    name="Intel Connects Cable",
+    max_length_m=100.0,
+    data_rate_gbps=20.0,
+    power_w=1.2,
+    energy_per_bit_pj=60.0,
+    medium="VCSELs, multimode fiber",
+)
+LUXTERA_BLAZAR = CableTechnology(
+    name="Luxtera Blazar",
+    max_length_m=300.0,
+    data_rate_gbps=42.0,
+    power_w=2.2,
+    energy_per_bit_pj=55.0,
+    medium="CMOS photonics, single-mode fiber",
+)
+ELECTRICAL_CABLE = CableTechnology(
+    name="conventional electrical cable",
+    max_length_m=10.0,
+    data_rate_gbps=10.0,
+    power_w=0.020,
+    energy_per_bit_pj=2.0,
+    medium="copper",
+)
+
+TABLE_1 = [INTEL_CONNECTS, LUXTERA_BLAZAR, ELECTRICAL_CABLE]
+
+
+def electrical_cost_per_gbps(length_m: float) -> float:
+    """Electrical-cable cost line of Figure 2 (repeaters included)."""
+    if length_m < 0:
+        raise ValueError("cable length must be >= 0")
+    return ELECTRICAL_PER_METER * length_m + ELECTRICAL_FIXED
+
+
+def optical_cost_per_gbps(length_m: float) -> float:
+    """Active-optical-cable cost line of Figure 2."""
+    if length_m < 0:
+        raise ValueError("cable length must be >= 0")
+    return OPTICAL_PER_METER * length_m + OPTICAL_FIXED
+
+
+def crossover_length_m() -> float:
+    """Length where the two Figure 2 lines intersect (~7.3 m; the paper
+    quotes "approximately 10 m" and uses 8 m in its cost sweeps)."""
+    return (OPTICAL_FIXED - ELECTRICAL_FIXED) / (ELECTRICAL_PER_METER - OPTICAL_PER_METER)
+
+
+def cable_cost_per_gbps(
+    length_m: float,
+    crossover_m: float = DEFAULT_CROSSOVER_M,
+) -> float:
+    """Cost of the technology the paper's methodology would pick.
+
+    Electrical below ``crossover_m``, optical at or above it.
+    """
+    if length_m < crossover_m:
+        return electrical_cost_per_gbps(length_m)
+    return optical_cost_per_gbps(length_m)
+
+
+def cable_cost(
+    length_m: float,
+    bandwidth_gbps: float,
+    crossover_m: float = DEFAULT_CROSSOVER_M,
+) -> float:
+    """Dollar cost of one cable of the given length and bandwidth."""
+    if bandwidth_gbps <= 0:
+        raise ValueError("bandwidth must be > 0")
+    return cable_cost_per_gbps(length_m, crossover_m) * bandwidth_gbps
+
+
+def is_optical(length_m: float, crossover_m: float = DEFAULT_CROSSOVER_M) -> bool:
+    """Whether the methodology uses an optical cable at this length."""
+    return length_m >= crossover_m

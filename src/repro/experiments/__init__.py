@@ -1,0 +1,28 @@
+"""Experiment registry: every table and figure of the paper.
+
+>>> from repro.experiments import get_experiment, all_experiment_ids
+>>> all_experiment_ids()
+['fig01', 'fig02', 'fig04', 'fig08', ...]
+>>> print(get_experiment("fig02").run().format_table())
+"""
+
+from . import analytic, cost_experiments, extensions, routing_sim  # noqa: F401  (register)
+from .base import (
+    REGISTRY,
+    Experiment,
+    ExperimentResult,
+    all_experiment_ids,
+    experiment_config,
+    experiment_topology,
+    get_experiment,
+)
+
+__all__ = [
+    "REGISTRY",
+    "Experiment",
+    "ExperimentResult",
+    "all_experiment_ids",
+    "experiment_config",
+    "experiment_topology",
+    "get_experiment",
+]

@@ -1,0 +1,215 @@
+"""Analytic (non-simulation) experiments: Figures 1, 2, 4, 18, Tables 1/2."""
+
+from __future__ import annotations
+
+from ..analysis.comparison import figure18_comparison
+from ..analysis.diameter import table2
+from ..core.scaling import dragonfly_scalability_curve, radix_requirement_curve
+from ..cost.cables import (
+    TABLE_1,
+    cable_cost_per_gbps,
+    crossover_length_m,
+    electrical_cost_per_gbps,
+    optical_cost_per_gbps,
+)
+from .base import Experiment, ExperimentResult, register
+
+
+@register
+class Figure1RadixRequirement(Experiment):
+    """Radix needed for a one-global-hop flat network vs N (~2 sqrt(N))."""
+
+    id = "fig01"
+    title = "Router radix required for single-global-hop networks"
+    paper_claim = "radix grows as ~2*sqrt(N); >1000 ports needed near 1M nodes"
+
+    def run(self, quick: bool = True) -> ExperimentResult:
+        sizes = [100, 1_000, 10_000, 100_000, 1_000_000]
+        result = ExperimentResult(
+            experiment_id=self.id,
+            title=self.title,
+            paper_claim=self.paper_claim,
+            columns=["N", "required_radix", "two_sqrt_N"],
+        )
+        for point in radix_requirement_curve(sizes):
+            result.rows.append(
+                {
+                    "N": point.num_terminals,
+                    "required_radix": point.required_radix,
+                    "two_sqrt_N": round(2 * point.num_terminals**0.5),
+                }
+            )
+        return result
+
+
+@register
+class Table1CableTechnology(Experiment):
+    """The cable-technology comparison table."""
+
+    id = "table1"
+    title = "Cable technology characteristics"
+    paper_claim = "active optical cables reach 100-300m at 20-42 Gb/s"
+
+    def run(self, quick: bool = True) -> ExperimentResult:
+        result = ExperimentResult(
+            experiment_id=self.id,
+            title=self.title,
+            paper_claim=self.paper_claim,
+            columns=["cable", "distance_m", "rate_gbps", "power_w", "energy_pj_per_bit"],
+        )
+        for tech in TABLE_1:
+            result.rows.append(
+                {
+                    "cable": tech.name,
+                    "distance_m": tech.max_length_m,
+                    "rate_gbps": tech.data_rate_gbps,
+                    "power_w": tech.power_w,
+                    "energy_pj_per_bit": tech.energy_per_bit_pj,
+                }
+            )
+        return result
+
+
+@register
+class Figure2CableCost(Experiment):
+    """Cable cost vs length with the electrical/optical crossover."""
+
+    id = "fig02"
+    title = "Cable cost ($/Gb/s) vs length"
+    paper_claim = "optical has higher fixed cost, lower slope; crossover ~10m"
+
+    def run(self, quick: bool = True) -> ExperimentResult:
+        result = ExperimentResult(
+            experiment_id=self.id,
+            title=self.title,
+            paper_claim=self.paper_claim,
+            columns=["length_m", "electrical", "optical", "chosen"],
+        )
+        for length in (0, 2, 5, 8, 10, 20, 40, 60, 80, 100):
+            result.rows.append(
+                {
+                    "length_m": length,
+                    "electrical": electrical_cost_per_gbps(length),
+                    "optical": optical_cost_per_gbps(length),
+                    "chosen": cable_cost_per_gbps(length),
+                }
+            )
+        result.notes.append(
+            f"cost-line crossover at {crossover_length_m():.2f} m "
+            "(paper quotes ~10 m and switches technologies at 8 m)"
+        )
+        return result
+
+
+@register
+class Figure4Scalability(Experiment):
+    """Balanced dragonfly size vs router radix."""
+
+    id = "fig04"
+    title = "Dragonfly scalability vs router radix"
+    paper_claim = "radix-64 routers scale beyond 256K nodes at diameter three"
+
+    def run(self, quick: bool = True) -> ExperimentResult:
+        result = ExperimentResult(
+            experiment_id=self.id,
+            title=self.title,
+            paper_claim=self.paper_claim,
+            columns=["radix", "p", "a", "h", "groups", "N"],
+        )
+        for point in dragonfly_scalability_curve([7, 15, 23, 31, 43, 63, 64]):
+            params = point.params
+            result.rows.append(
+                {
+                    "radix": point.radix,
+                    "p": params.p,
+                    "a": params.a,
+                    "h": params.h,
+                    "groups": params.g,
+                    "N": params.num_terminals,
+                }
+            )
+        return result
+
+
+@register
+class Table2TopologyComparison(Experiment):
+    """Diameter and cable-length expressions, dragonfly vs FB."""
+
+    id = "table2"
+    title = "Dragonfly vs flattened butterfly: hops and cable lengths"
+    paper_claim = (
+        "dragonfly trades one global hop (vs two) and half the global "
+        "cables for longer average cables (2E/3 vs E/3)"
+    )
+
+    def run(self, quick: bool = True) -> ExperimentResult:
+        result = ExperimentResult(
+            experiment_id=self.id,
+            title=self.title,
+            paper_claim=self.paper_claim,
+            columns=[
+                "topology",
+                "minimal_diameter",
+                "nonminimal_diameter",
+                "avg_cable",
+                "max_cable",
+            ],
+        )
+        for row in table2():
+            result.rows.append(
+                {
+                    "topology": row.topology,
+                    "minimal_diameter": str(row.minimal_diameter),
+                    "nonminimal_diameter": str(row.nonminimal_diameter),
+                    "avg_cable": f"{row.avg_cable_fraction:.3f}*E",
+                    "max_cable": f"{row.max_cable_fraction:.3f}*E",
+                }
+            )
+        return result
+
+
+@register
+class Figure18Structure(Experiment):
+    """64K-node structural comparison: global cable and port counts."""
+
+    id = "fig18"
+    title = "64K-node dragonfly vs flattened butterfly structure"
+    paper_claim = (
+        "same bisection, but the dragonfly needs ~half the global cables "
+        "and spends half the port fraction on global channels"
+    )
+
+    def run(self, quick: bool = True) -> ExperimentResult:
+        result = ExperimentResult(
+            experiment_id=self.id,
+            title=self.title,
+            paper_claim=self.paper_claim,
+            columns=[
+                "topology",
+                "routers",
+                "radix",
+                "global_ports",
+                "global_port_frac",
+                "global_cables",
+                "cables_per_node",
+            ],
+        )
+        summaries = figure18_comparison()
+        for summary in summaries:
+            result.rows.append(
+                {
+                    "topology": summary.topology,
+                    "routers": summary.num_routers,
+                    "radix": summary.router_radix,
+                    "global_ports": summary.global_ports_per_router,
+                    "global_port_frac": summary.global_port_fraction,
+                    "global_cables": summary.num_global_cables,
+                    "cables_per_node": summary.global_cables_per_node,
+                }
+            )
+        fb, df = summaries
+        result.notes.append(
+            f"dragonfly global cables / FB global cables = "
+            f"{df.num_global_cables / fb.num_global_cables:.3f}"
+        )
+        return result

@@ -1,0 +1,153 @@
+"""Experiment registry: one entry per table/figure of the paper.
+
+Every experiment knows the figure it reproduces, the paper's qualitative
+claim, and how to regenerate the figure's rows/series.  ``quick`` mode
+runs the simulation experiments on the 72-node dragonfly of Figure 5
+(``p = h = 2, a = 4``); full mode uses the paper's 1056-node default
+(``p = h = 4, a = 8``).  The phenomena under study are structural, so the
+trends match at both sizes (the paper itself notes "simulations of other
+size networks follow the same trend").
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from ..core.params import DragonflyParams
+from ..network.config import SimulationConfig
+from ..topology.dragonfly import Dragonfly
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of a regenerated table/figure plus context for the report."""
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def format_table(self) -> str:
+        """Render rows as an aligned text table."""
+        widths = {
+            column: max(
+                len(column),
+                *(len(_fmt(row.get(column))) for row in self.rows),
+            )
+            if self.rows
+            else len(column)
+            for column in self.columns
+        }
+        lines = [
+            f"== {self.experiment_id}: {self.title}",
+            f"   paper: {self.paper_claim}",
+            "  ".join(column.ljust(widths[column]) for column in self.columns),
+        ]
+        for row in self.rows:
+            lines.append(
+                "  ".join(
+                    _fmt(row.get(column)).ljust(widths[column])
+                    for column in self.columns
+                )
+            )
+        lines.extend(f"   note: {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+class Experiment(abc.ABC):
+    """One reproducible table/figure."""
+
+    #: Identifier like ``"fig08a"`` or ``"table2"``.
+    id: str = ""
+    #: One-line description of what the paper shows.
+    title: str = ""
+    #: The qualitative claim being reproduced.
+    paper_claim: str = ""
+
+    @abc.abstractmethod
+    def run(self, quick: bool = True) -> ExperimentResult:
+        """Regenerate the figure's rows (quick = small network)."""
+
+
+REGISTRY: Dict[str, Callable[[], Experiment]] = {}
+
+
+def register(factory: Callable[[], Experiment]) -> Callable[[], Experiment]:
+    """Class decorator registering an experiment by its ``id``."""
+    instance = factory()
+    if not instance.id:
+        raise ValueError(f"experiment {factory!r} has no id")
+    if instance.id in REGISTRY:
+        raise ValueError(f"duplicate experiment id {instance.id}")
+    REGISTRY[instance.id] = factory
+    return factory
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    if experiment_id not in REGISTRY:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(REGISTRY)}"
+        )
+    return REGISTRY[experiment_id]()
+
+
+def all_experiment_ids() -> List[str]:
+    return sorted(REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# Shared simulation settings
+# ----------------------------------------------------------------------
+def experiment_topology(quick: bool = True) -> Dragonfly:
+    """The dragonfly the simulation experiments run on."""
+    params = (
+        DragonflyParams.paper_example_72() if quick else DragonflyParams.paper_1k()
+    )
+    return Dragonfly(params)
+
+
+def experiment_config(
+    quick: bool = True,
+    load: float = 0.1,
+    vc_buffer_depth: int = 16,
+) -> SimulationConfig:
+    """Simulation methodology knobs scaled to the run size."""
+    if quick:
+        return SimulationConfig(
+            load=load,
+            warmup_cycles=1000,
+            measure_cycles=1000,
+            drain_max_cycles=15_000,
+            vc_buffer_depth=vc_buffer_depth,
+        )
+    return SimulationConfig(
+        load=load,
+        warmup_cycles=3000,
+        measure_cycles=2000,
+        drain_max_cycles=40_000,
+        vc_buffer_depth=vc_buffer_depth,
+    )
+
+
+def uniform_loads(quick: bool = True) -> Sequence[float]:
+    if quick:
+        return (0.1, 0.3, 0.5, 0.7, 0.8, 0.9)
+    return (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+def worst_case_loads(quick: bool = True) -> Sequence[float]:
+    if quick:
+        return (0.05, 0.1, 0.2, 0.3, 0.4, 0.45)
+    return (0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45)

@@ -1,0 +1,361 @@
+"""Simulation experiments: the routing figures (8, 9, 10, 11, 12, 14, 16).
+
+Each experiment sweeps offered load (or buffer depth) on a dragonfly and
+reports the paper's series.  Latency entries are ``inf`` when a run
+failed to drain its tagged packets (operating beyond saturation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Sequence
+
+from ..network.sweep import run_point
+from ..network.stats import SimulationResult
+from ..routing.ugal import make_routing
+from ..topology.dragonfly import Dragonfly
+from .base import (
+    Experiment,
+    ExperimentResult,
+    experiment_config,
+    experiment_topology,
+    register,
+    uniform_loads,
+    worst_case_loads,
+)
+
+
+def _latency(result: SimulationResult) -> float:
+    return math.inf if result.saturated else result.avg_latency
+
+
+def _sweep_rows(
+    topology: Dragonfly,
+    routing_names: Sequence[str],
+    pattern: str,
+    loads: Sequence[float],
+    quick: bool,
+    vc_buffer_depth: int = 16,
+) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for load in loads:
+        row: Dict[str, object] = {"load": load}
+        for name in routing_names:
+            config = experiment_config(quick, load=load, vc_buffer_depth=vc_buffer_depth)
+            result = run_point(topology, make_routing(name), pattern, config)
+            row[name] = _latency(result)
+            row[f"{name}:accepted"] = result.accepted_load
+        rows.append(row)
+    return rows
+
+
+@register
+class Figure8RoutingComparison(Experiment):
+    """Latency vs load for MIN/VAL/UGAL-L/UGAL-G on UR and WC traffic."""
+
+    id = "fig08"
+    title = "Routing algorithm comparison (UR and WC traffic)"
+    paper_claim = (
+        "UR: MIN ~= UGAL ~= capacity, VAL ~= half capacity; "
+        "WC: MIN caps at 1/(ah), VAL/UGAL-G ~= 50%, UGAL-L degraded latency"
+    )
+
+    routing_names = ["MIN", "VAL", "UGAL-L", "UGAL-G"]
+
+    def run(self, quick: bool = True) -> ExperimentResult:
+        topology = experiment_topology(quick)
+        result = ExperimentResult(
+            experiment_id=self.id,
+            title=self.title,
+            paper_claim=self.paper_claim,
+            columns=["pattern", "load"] + self.routing_names,
+        )
+        for pattern, loads in (
+            ("uniform_random", uniform_loads(quick)),
+            ("worst_case", worst_case_loads(quick)),
+        ):
+            for row in _sweep_rows(topology, self.routing_names, pattern, loads, quick):
+                out = {"pattern": pattern, "load": row["load"]}
+                out.update({name: row[name] for name in self.routing_names})
+                result.rows.append(out)
+        min_wc_bound = 1.0 / (topology.a * topology.h)
+        result.notes.append(
+            f"analytic MIN worst-case bound: 1/(a*h) = {min_wc_bound:.3f}"
+        )
+        return result
+
+
+@register
+class Figure9ChannelUtilization(Experiment):
+    """Global channel utilisation under WC at load 0.2: UGAL-L starves
+    the non-minimal channels sharing the minimal channel's router."""
+
+    id = "fig09"
+    title = "Global channel utilisation (WC traffic, load 0.2)"
+    paper_claim = (
+        "UGAL-G balances all non-minimal channels; UGAL-L underutilises "
+        "the non-minimal channels on the minimal channel's router"
+    )
+
+    def run(self, quick: bool = True) -> ExperimentResult:
+        topology = experiment_topology(quick)
+        result = ExperimentResult(
+            experiment_id=self.id,
+            title=self.title,
+            paper_claim=self.paper_claim,
+            columns=[
+                "routing",
+                "minimal_channel",
+                "same_router_nonminimal",
+                "other_nonminimal",
+            ],
+        )
+        # Classify the global channels leaving group 0 (the WC pattern
+        # sends group 0's traffic to group 1).
+        min_link = topology.group_links(0, 1)[0]
+        all_links = [
+            link
+            for group in range(1, topology.g)
+            for link in topology.group_links(0, group)
+        ]
+        same_router = [
+            link
+            for link in all_links
+            if link.src_router == min_link.src_router and link != min_link
+        ]
+        others = [
+            link for link in all_links if link.src_router != min_link.src_router
+        ]
+        for name in ("UGAL-L", "UGAL-G"):
+            config = experiment_config(quick, load=0.2)
+            run = run_point(topology, make_routing(name), "worst_case", config)
+            util = run.global_channel_utilization()
+
+            def channel_util(link) -> float:
+                channel = topology.fabric.out_channel(link.src_router, link.src_port)
+                assert channel is not None
+                return util.get(channel.index, 0.0)
+
+            result.rows.append(
+                {
+                    "routing": name,
+                    "minimal_channel": channel_util(min_link),
+                    "same_router_nonminimal": (
+                        sum(channel_util(link) for link in same_router)
+                        / max(1, len(same_router))
+                    ),
+                    "other_nonminimal": (
+                        sum(channel_util(link) for link in others)
+                        / max(1, len(others))
+                    ),
+                }
+            )
+        return result
+
+
+@register
+class Figure10VcDiscrimination(Experiment):
+    """UGAL-L_VC vs UGAL-L_VCH vs UGAL-L/UGAL-G on UR and WC."""
+
+    id = "fig10"
+    title = "VC-discriminated UGAL variants (UR and WC traffic)"
+    paper_claim = (
+        "UGAL-L_VC matches UGAL-G on WC but loses ~30% UR throughput; "
+        "the hybrid UGAL-L_VCH matches UGAL-G throughput on both"
+    )
+
+    routing_names = ["UGAL-L", "UGAL-L_VC", "UGAL-L_VCH", "UGAL-G"]
+
+    def run(self, quick: bool = True) -> ExperimentResult:
+        topology = experiment_topology(quick)
+        result = ExperimentResult(
+            experiment_id=self.id,
+            title=self.title,
+            paper_claim=self.paper_claim,
+            columns=["pattern", "load"]
+            + self.routing_names
+            + [f"{name}:accepted" for name in self.routing_names],
+        )
+        for pattern, loads in (
+            ("uniform_random", uniform_loads(quick)),
+            ("worst_case", worst_case_loads(quick)),
+        ):
+            for row in _sweep_rows(topology, self.routing_names, pattern, loads, quick):
+                out: Dict[str, object] = {"pattern": pattern, "load": row["load"]}
+                for name in self.routing_names:
+                    out[name] = row[name]
+                    out[f"{name}:accepted"] = row[f"{name}:accepted"]
+                result.rows.append(out)
+        return result
+
+
+@register
+class Figure11MinimalPacketLatency(Experiment):
+    """Minimal vs non-minimal packet latency under UGAL-L as buffers grow."""
+
+    id = "fig11"
+    title = "UGAL-L per-class latency vs buffer depth (WC traffic)"
+    paper_claim = (
+        "minimally-routed packets see latency proportional to buffer "
+        "depth; non-minimal packets track UGAL-G"
+    )
+
+    def run(self, quick: bool = True) -> ExperimentResult:
+        topology = experiment_topology(quick)
+        result = ExperimentResult(
+            experiment_id=self.id,
+            title=self.title,
+            paper_claim=self.paper_claim,
+            columns=["buffer_depth", "load", "minimal", "nonminimal", "average"],
+        )
+        loads = (0.1, 0.2, 0.3, 0.4) if quick else (0.1, 0.2, 0.3, 0.4, 0.5)
+        for depth in (16, 256):
+            for load in loads:
+                config = experiment_config(quick, load=load, vc_buffer_depth=depth)
+                if depth >= 256:
+                    # Deep buffers need a longer warm-up to fill.
+                    config = dataclasses.replace(
+                        config, warmup_cycles=config.warmup_cycles * 5
+                    )
+                run = run_point(topology, make_routing("UGAL-L"), "worst_case", config)
+                result.rows.append(
+                    {
+                        "buffer_depth": depth,
+                        "load": load,
+                        "minimal": math.inf if run.saturated else run.avg_minimal_latency,
+                        "nonminimal": (
+                            math.inf if run.saturated else run.avg_nonminimal_latency
+                        ),
+                        "average": _latency(run),
+                    }
+                )
+        return result
+
+
+@register
+class Figure12LatencyHistogram(Experiment):
+    """Bimodal latency distribution of UGAL-L at load 0.25."""
+
+    id = "fig12"
+    title = "UGAL-L latency histogram (WC traffic, load 0.25)"
+    paper_claim = (
+        "two distributions: many low-latency non-minimal packets, a tail "
+        "of high-latency minimal packets whose latency scales with buffers"
+    )
+
+    def run(self, quick: bool = True) -> ExperimentResult:
+        topology = experiment_topology(quick)
+        result = ExperimentResult(
+            experiment_id=self.id,
+            title=self.title,
+            paper_claim=self.paper_claim,
+            columns=["buffer_depth", "avg_latency", "bin_start", "fraction", "minimal_fraction_in_bin"],
+        )
+        for depth in (16, 256):
+            config = experiment_config(quick, load=0.25, vc_buffer_depth=depth)
+            if depth >= 256:
+                config = dataclasses.replace(
+                    config, warmup_cycles=config.warmup_cycles * 5
+                )
+            run = run_point(topology, make_routing("UGAL-L"), "worst_case", config)
+            bin_width = 5 if depth == 16 else 25
+            total_histogram = dict(run.latency_histogram(bin_width=bin_width))
+            minimal_histogram = dict(
+                run.latency_histogram(bin_width=bin_width, minimal_only=True)
+            )
+            for bin_start, fraction in sorted(total_histogram.items()):
+                minimal_fraction = minimal_histogram.get(bin_start, 0.0)
+                result.rows.append(
+                    {
+                        "buffer_depth": depth,
+                        "avg_latency": run.avg_latency,
+                        "bin_start": bin_start,
+                        "fraction": fraction,
+                        "minimal_fraction_in_bin": (
+                            minimal_fraction / fraction if fraction else 0.0
+                        ),
+                    }
+                )
+        return result
+
+
+@register
+class Figure14BufferDepth(Experiment):
+    """UGAL-L intermediate latency vs buffer depth."""
+
+    id = "fig14"
+    title = "UGAL-L latency vs load for buffer depths 4..64 (WC traffic)"
+    paper_claim = (
+        "shallower buffers give stiffer backpressure and lower "
+        "intermediate latency, at some cost in throughput"
+    )
+
+    def run(self, quick: bool = True) -> ExperimentResult:
+        topology = experiment_topology(quick)
+        result = ExperimentResult(
+            experiment_id=self.id,
+            title=self.title,
+            paper_claim=self.paper_claim,
+            columns=["buffer_depth", "load", "latency"],
+        )
+        loads = (0.1, 0.2, 0.3, 0.4) if quick else (0.1, 0.2, 0.3, 0.4, 0.5)
+        for depth in (4, 8, 16, 32, 64):
+            for load in loads:
+                config = experiment_config(quick, load=load, vc_buffer_depth=depth)
+                run = run_point(topology, make_routing("UGAL-L"), "worst_case", config)
+                result.rows.append(
+                    {"buffer_depth": depth, "load": load, "latency": _latency(run)}
+                )
+        return result
+
+
+@register
+class Figure16CreditRoundTrip(Experiment):
+    """UGAL-L_CR vs UGAL-L_VCH vs UGAL-G, WC and UR, buffers 16 and 256."""
+
+    id = "fig16"
+    title = "Credit round-trip latency routing (UGAL-L_CR)"
+    paper_claim = (
+        "UGAL-L_CR approaches UGAL-G latency, cuts UGAL-L intermediate "
+        "latency (35% at 16-flit buffers, ~20x at 256), and is far less "
+        "sensitive to buffer depth"
+    )
+
+    routing_names = ["UGAL-L_VCH", "UGAL-L_CR", "UGAL-G"]
+
+    def run(self, quick: bool = True) -> ExperimentResult:
+        topology = experiment_topology(quick)
+        result = ExperimentResult(
+            experiment_id=self.id,
+            title=self.title,
+            paper_claim=self.paper_claim,
+            columns=["pattern", "buffer_depth", "load"] + self.routing_names,
+        )
+        for pattern in ("worst_case", "uniform_random"):
+            loads = (
+                worst_case_loads(quick)
+                if pattern == "worst_case"
+                else uniform_loads(quick)
+            )
+            for depth in (16, 256):
+                for load in loads:
+                    row: Dict[str, object] = {
+                        "pattern": pattern,
+                        "buffer_depth": depth,
+                        "load": load,
+                    }
+                    for name in self.routing_names:
+                        config = experiment_config(
+                            quick, load=load, vc_buffer_depth=depth
+                        )
+                        if depth >= 256:
+                            config = dataclasses.replace(
+                                config, warmup_cycles=config.warmup_cycles * 5
+                            )
+                        run = run_point(
+                            topology, make_routing(name), pattern, config
+                        )
+                        row[name] = _latency(run)
+                    result.rows.append(row)
+        return result

@@ -1,0 +1,67 @@
+"""Cycle-accurate flit-level interconnection network simulator."""
+
+from .config import SimulationConfig
+from .packet import Flit, Packet, RoutePlan, make_flits
+from .replication import ReplicatedMetric, ReplicatedResult, replicate
+from .simulator import Simulator, simulate
+from .stats import LatencySample, SimulationResult
+from .sweep import SweepPoint, load_sweep, run_point, saturation_load
+from .workloads import (
+    ApplicationWorkload,
+    CommunicationPhase,
+    PhaseResult,
+    WorkloadResult,
+    run_workload,
+    standard_workloads,
+)
+from .traffic import (
+    BitComplement,
+    FbAdversarial,
+    GroupTornado,
+    Hotspot,
+    RandomPermutation,
+    Shift,
+    TrafficPattern,
+    TorusTornado,
+    Transpose,
+    UniformRandom,
+    WorstCase,
+    make_pattern,
+)
+
+__all__ = [
+    "SimulationConfig",
+    "Flit",
+    "Packet",
+    "RoutePlan",
+    "make_flits",
+    "ReplicatedMetric",
+    "ReplicatedResult",
+    "replicate",
+    "Simulator",
+    "simulate",
+    "LatencySample",
+    "SimulationResult",
+    "SweepPoint",
+    "load_sweep",
+    "run_point",
+    "saturation_load",
+    "ApplicationWorkload",
+    "CommunicationPhase",
+    "PhaseResult",
+    "WorkloadResult",
+    "run_workload",
+    "standard_workloads",
+    "BitComplement",
+    "FbAdversarial",
+    "GroupTornado",
+    "Hotspot",
+    "RandomPermutation",
+    "Shift",
+    "TrafficPattern",
+    "TorusTornado",
+    "Transpose",
+    "UniformRandom",
+    "WorstCase",
+    "make_pattern",
+]

@@ -1,0 +1,118 @@
+"""Packets, flits and route plans for the cycle-accurate simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..topology.dragonfly import GlobalLink
+
+
+@dataclass
+class RoutePlan:
+    """The per-packet routing decision, fixed at the source router.
+
+    ``minimal`` selects between the 3-step minimal route and the 5-step
+    Valiant route of Section 4.1.  ``gc1`` is the global channel leaving
+    the source group (``None`` when the destination -- or, for Valiant,
+    the intermediate group -- is the source group itself); ``gc2`` is the
+    Valiant route's second global channel (``None`` for minimal routes or
+    degenerate Valiant routes).
+    """
+
+    minimal: bool
+    gc1: Optional[GlobalLink] = None
+    gc2: Optional[GlobalLink] = None
+
+    @property
+    def num_global_hops(self) -> int:
+        return (self.gc1 is not None) + (self.gc2 is not None)
+
+
+@dataclass
+class Packet:
+    """One network packet.
+
+    Latency accounting: ``creation_time`` is when the traffic source
+    produced the packet (start of source queueing); ``inject_time`` is
+    when the head flit entered the source router; ``eject_time`` is when
+    the tail flit reached the destination terminal.  Reported packet
+    latency is ``eject_time - creation_time`` (the paper's convention --
+    source queueing is included, which is what makes latency diverge at
+    saturation).
+    """
+
+    index: int
+    src_terminal: int
+    dst_terminal: int
+    creation_time: int
+    size: int = 1
+    plan: Optional[RoutePlan] = None
+    measured: bool = False
+    #: Protocol message class: 0 = request (or plain traffic), 1 = reply.
+    #: Replies ride VCs ``3 * vc_class ..`` so the classes cannot block
+    #: each other (protocol deadlock avoidance, Section 4.1).
+    vc_class: int = 0
+    #: For replies: the request packet this answers (round-trip latency
+    #: is measured from the request's creation to the reply's ejection).
+    request: Optional["Packet"] = None
+    inject_time: Optional[int] = None
+    eject_time: Optional[int] = None
+    # Per-router (out_port, out_vc) assignment filled in by the head flit
+    # so body/tail flits of multi-flit packets follow the same path.
+    hop_assignment: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def latency(self) -> int:
+        if self.eject_time is None:
+            raise ValueError(f"packet {self.index} has not been ejected")
+        return self.eject_time - self.creation_time
+
+    @property
+    def is_minimal(self) -> bool:
+        if self.plan is None:
+            raise ValueError(f"packet {self.index} has no route plan")
+        return self.plan.minimal
+
+
+@dataclass
+class Flit:
+    """One flow-control unit of a packet.
+
+    ``progress`` tracks progress through the route plan; its meaning is
+    defined by the routing executor (for the dragonfly it counts global
+    channels crossed).  ``next_progress`` is the value ``progress`` takes
+    after the current hop, computed together with the output port.
+    ``upstream`` identifies the (router, out_port, vc) whose credit must
+    be returned when this flit leaves its current buffer.
+    """
+
+    packet: Packet
+    is_head: bool = True
+    is_tail: bool = True
+    progress: int = 0
+    next_progress: int = 0
+    # Next-hop decision at the current router, set on enqueue.
+    out_port: int = -1
+    out_vc: int = -1
+    # Input (port * num_vcs + vc) slot occupied at the current router.
+    in_idx: int = -1
+    # Credit return target: (router, out_port, vc) one hop upstream.
+    upstream: Optional[Tuple[int, int, int]] = None
+    # Kind of the channel the flit arrived on (None right after injection);
+    # the credit-delay mechanism never delays credits that must cross a
+    # global channel.
+    arrived_on_global: bool = False
+
+
+def make_flits(packet: Packet) -> List[Flit]:
+    """Split a packet into its flits (head flit first)."""
+    if packet.size < 1:
+        raise ValueError("packet size must be >= 1")
+    if packet.size == 1:
+        return [Flit(packet=packet, is_head=True, is_tail=True)]
+    flits = [Flit(packet=packet, is_head=True, is_tail=False)]
+    for _ in range(packet.size - 2):
+        flits.append(Flit(packet=packet, is_head=False, is_tail=False))
+    flits.append(Flit(packet=packet, is_head=False, is_tail=True))
+    return flits

@@ -1,0 +1,120 @@
+"""Seed replication and confidence intervals.
+
+The paper reports single-run simulation results; for a reproduction it
+is worth knowing how tight those numbers are.  This module repeats a
+simulation across independent seeds and summarises latency/throughput
+with mean, standard deviation and a normal-approximation confidence
+interval -- enough to state "UGAL-L_CR's intermediate latency is
+X +- Y cycles" with a straight face.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from ..routing.base import RoutingAlgorithm
+from ..topology.dragonfly import Dragonfly
+from .config import SimulationConfig
+from .simulator import Simulator
+from .stats import SimulationResult
+from .traffic import make_pattern
+
+#: Two-sided z value for a 95% normal confidence interval.
+_Z95 = 1.96
+
+
+@dataclass
+class ReplicatedMetric:
+    """Mean / spread of one scalar over seed replications."""
+
+    name: str
+    values: List[float]
+
+    @property
+    def runs(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def std(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        mean = self.mean
+        variance = sum((v - mean) ** 2 for v in self.values) / (len(self.values) - 1)
+        return math.sqrt(variance)
+
+    @property
+    def ci95_half_width(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        return _Z95 * self.std / math.sqrt(len(self.values))
+
+    def __str__(self) -> str:
+        return f"{self.name} = {self.mean:.3f} +- {self.ci95_half_width:.3f} (n={self.runs})"
+
+
+@dataclass
+class ReplicatedResult:
+    """Replication summary of one simulation configuration."""
+
+    routing_name: str
+    pattern_name: str
+    offered_load: float
+    latency: ReplicatedMetric
+    accepted_load: ReplicatedMetric
+    minimal_fraction: ReplicatedMetric
+    saturated_runs: int
+
+    def summary(self) -> str:
+        return (
+            f"{self.routing_name:10s} {self.pattern_name:14s} "
+            f"load={self.offered_load:.3f}: "
+            f"latency {self.latency.mean:7.2f} +- {self.latency.ci95_half_width:5.2f}, "
+            f"accepted {self.accepted_load.mean:.3f} +- "
+            f"{self.accepted_load.ci95_half_width:.3f} "
+            f"({self.saturated_runs}/{self.latency.runs} saturated)"
+        )
+
+
+def replicate(
+    topology: Dragonfly,
+    make_algorithm: Callable[[], RoutingAlgorithm],
+    pattern_name: str,
+    config: SimulationConfig,
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+) -> ReplicatedResult:
+    """Run the same configuration under independent seeds.
+
+    Saturated runs are excluded from the latency statistic (their latency
+    is unbounded) but counted in ``saturated_runs``.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    results: List[SimulationResult] = []
+    for seed in seeds:
+        seeded = dataclasses.replace(config, seed=seed)
+        pattern = make_pattern(pattern_name, topology, seed=seed + 17)
+        results.append(
+            Simulator(topology, make_algorithm(), pattern, seeded).run()
+        )
+    stable = [r for r in results if not r.saturated]
+    latencies = [r.avg_latency for r in stable] or [math.inf]
+    return ReplicatedResult(
+        routing_name=results[0].routing_name,
+        pattern_name=results[0].pattern_name,
+        offered_load=config.load,
+        latency=ReplicatedMetric("latency", latencies),
+        accepted_load=ReplicatedMetric(
+            "accepted_load", [r.accepted_load for r in results]
+        ),
+        minimal_fraction=ReplicatedMetric(
+            "minimal_fraction", [r.minimal_fraction for r in stable] or [math.nan]
+        ),
+        saturated_runs=sum(1 for r in results if r.saturated),
+    )

@@ -1,0 +1,564 @@
+"""Cycle-accurate flit-level dragonfly simulator.
+
+Models the paper's evaluation vehicle (Section 4.2): single-cycle
+input-queued routers with per-port virtual-channel buffers, credit-based
+flow control, Bernoulli packet injection, and the warm-up / tagged
+measurement window / drain methodology.
+
+Routers are given "sufficient speedup" as in the paper -- the switch is
+never the bottleneck.  Concretely: buffered flits are organised per
+(output port, VC), so a flit is never blocked behind one heading to a
+*different* output (no input head-of-line blocking), and each *output
+port* forwards at most one flit per cycle (channel bandwidth is the only
+switching constraint), round-robin over its VCs.  Buffer *space*
+accounting stays on the input side: each flit occupies one slot of the
+(input port, VC) buffer it arrived into, and that slot's credit returns
+upstream when the flit leaves, exactly as in credit-based flow control.
+
+Multi-flit packets use virtual cut-through allocation: each output VC
+serves one packet at a time (a FIFO of per-packet flit streams), and a
+head flit advances only when the downstream VC buffer has room for the
+entire packet -- so a packet in flight can never stall mid-stream for
+credits, and packets never interleave within a VC.
+
+The credit round-trip latency mechanism of UGAL-L_CR (Section 4.3.2) is
+implemented here: every router timestamps flits per output in a credit
+time queue (CTQ) when they arrive, measures the credit round-trip time
+``t_crt`` when the matching credit returns (so ``t_crt`` includes the
+flit's queueing toward the output -- the congestion being sensed), stores
+the excess ``t_d(O) = t_crt(O) - t_crt0(O)`` in a register, and delays
+credits it returns upstream by ``gain * (t_d(O) - min_o t_d(o))``.
+Credits that cross global channels are never delayed, which keeps the
+expensive global channels fully utilisable and breaks feedback cycles.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..routing.base import RoutingAlgorithm
+from ..topology.base import ChannelKind
+from ..topology.dragonfly import Dragonfly
+from .config import SimulationConfig
+from .packet import Flit, Packet, make_flits
+from .stats import LatencySample, SimulationResult
+
+#: (dst_router, dst_port, latency, is_global, channel_index)
+_ChannelInfo = Tuple[int, int, int, bool, int]
+
+
+class _Stream:
+    """Arrived-but-unsent flits of one packet at one output VC.
+
+    Virtual cut-through: the stream at the *front* of an output VC's
+    queue owns that VC's downstream buffer until its tail flit leaves.
+    """
+
+    __slots__ = ("packet", "flits")
+
+    def __init__(self, packet: Packet) -> None:
+        self.packet = packet
+        self.flits: Deque[Flit] = deque()
+
+
+class Simulator:
+    """One simulation run binding a topology, routing algorithm, traffic
+    pattern and configuration.  Also serves as the
+    :class:`~repro.routing.base.CongestionView` the routing algorithms
+    query."""
+
+    def __init__(
+        self,
+        topology: Dragonfly,
+        routing: RoutingAlgorithm,
+        pattern: Callable[[int], int],
+        config: SimulationConfig,
+    ) -> None:
+        self.topology = topology
+        self.routing = routing
+        self.pattern = pattern
+        self.config = config
+        self.now = 0
+        terminal_latency = getattr(topology, "terminal_latency", 1)
+        self._terminal_latency = terminal_latency
+        self._rng_traffic = random.Random(config.seed)
+        self._rng_route = random.Random(config.seed + 0x9E3779B9)
+
+        num_routers = topology.fabric.num_routers
+        radix = topology.fabric.max_radix()
+        vcs = config.num_vcs
+        self._num_routers = num_routers
+        self._radix = radix
+        self._vcs = vcs
+        self._depth = config.vc_buffer_depth
+        self._multi_flit = config.packet_size > 1
+
+        # Per-router state.  Buffer *space* is accounted per input
+        # (port, VC) slot; buffered flits are *queued* per output
+        # (port, VC) so the switch has no input HOL blocking.
+        self._buf_count: List[List[int]] = [
+            [0] * (radix * vcs) for _ in range(num_routers)
+        ]
+        self._out_q: List[List[Deque[Flit]]] = [
+            [deque() for _ in range(radix * vcs)] for _ in range(num_routers)
+        ]
+        self._credits: List[List[int]] = [
+            [config.vc_buffer_depth] * (radix * vcs) for _ in range(num_routers)
+        ]
+        self._pending: List[List[int]] = [[0] * radix for _ in range(num_routers)]
+        self._pending_vc: List[List[int]] = [
+            [0] * (radix * vcs) for _ in range(num_routers)
+        ]
+        self._rr_vc: List[List[int]] = [[0] * radix for _ in range(num_routers)]
+        # Multi-flit mode: per-router map (out_idx, packet index) -> the
+        # packet's open stream, for appending body flits.
+        self._streams: List[Dict[Tuple[int, int], _Stream]] = [
+            {} for _ in range(num_routers)
+        ]
+
+        # Static wiring lookups.
+        self._channel_info: List[List[Optional[_ChannelInfo]]] = [
+            [None] * radix for _ in range(num_routers)
+        ]
+        self._network_ports: List[List[int]] = [[] for _ in range(num_routers)]
+        fabric = topology.fabric
+        for router in range(num_routers):
+            for port in fabric.ports(router):
+                channel = fabric.out_channel(router, port)
+                if channel is None:
+                    continue
+                self._channel_info[router][port] = (
+                    channel.dst.router,
+                    channel.dst.port,
+                    # The router pipeline is modelled as extra per-hop
+                    # flight time; credits return over the same delay.
+                    channel.latency + config.router_pipeline_cycles,
+                    channel.kind == ChannelKind.GLOBAL,
+                    channel.index,
+                )
+                self._network_ports[router].append(port)
+
+        # Credit round-trip sensing (UGAL-L_CR).
+        self._credit_delay_enabled = routing.needs_credit_delay
+        self._ctq: List[List[Deque[int]]] = [
+            [deque() for _ in range(radix)] for _ in range(num_routers)
+        ]
+        self._td: List[List[float]] = [[0.0] * radix for _ in range(num_routers)]
+        self._tcrt0: List[List[int]] = [[0] * radix for _ in range(num_routers)]
+        for router in range(num_routers):
+            for port in self._network_ports[router]:
+                info = self._channel_info[router][port]
+                assert info is not None
+                # Zero-load round trip: flit flight + same-cycle downstream
+                # forwarding + credit flight.  Timestamps are taken when
+                # the flit is *enqueued* toward the output, so t_crt
+                # includes queueing toward O at this router -- the
+                # congestion the mechanism exists to sense.
+                self._tcrt0[router][port] = 2 * info[2]
+
+        # Event wheels keyed by absolute cycle.
+        self._arrivals: Dict[int, List[Tuple[int, int, Flit]]] = {}
+        self._credit_events: Dict[int, List[Tuple[int, int]]] = {}
+
+        # Injection state per terminal.
+        num_terminals = topology.num_terminals
+        self._source_queue: List[Deque[Packet]] = [deque() for _ in range(num_terminals)]
+        self._inflight_injection: List[Deque[Flit]] = [deque() for _ in range(num_terminals)]
+        self._terminal_router = [fabric.terminals[t].router for t in range(num_terminals)]
+        self._terminal_port = [fabric.terminals[t].port for t in range(num_terminals)]
+
+        # Measurement state.
+        self._packet_counter = 0
+        self._source_queue_at_end = 0.0
+        self._outstanding_tagged = 0
+        self._samples: List[LatencySample] = []
+        self._ejected_flits_in_window = 0
+        self._global_channel_flits: Dict[int, int] = {}
+        self._measure_start = config.warmup_cycles
+        self._measure_end = config.warmup_cycles + config.measure_cycles
+        # Bulk-synchronous mode: the whole workload is created up front
+        # and the run completes when every packet has been delivered.
+        self._bulk_mode = config.packets_per_terminal is not None
+        if self._bulk_mode:
+            self._measure_start = 0
+            self._measure_end = 0
+            for terminal in range(num_terminals):
+                for _ in range(config.packets_per_terminal):
+                    packet = Packet(
+                        index=self._packet_counter,
+                        src_terminal=terminal,
+                        dst_terminal=self.pattern(terminal),
+                        creation_time=0,
+                        size=config.packet_size,
+                        measured=True,
+                    )
+                    self._packet_counter += 1
+                    self._outstanding_tagged += 1
+                    self._source_queue[terminal].append(packet)
+
+    # ------------------------------------------------------------------
+    # CongestionView interface (queried by routing algorithms)
+    # ------------------------------------------------------------------
+    def output_occupancy(self, router: int, out_port: int) -> int:
+        """Queue occupancy of an output port *at this router*: flits
+        buffered here that are routed to that output.
+
+        Deliberately excludes any downstream state -- a router only learns
+        about congestion elsewhere when exhausted credits stop its own
+        queue from draining (backpressure).  This is exactly the
+        indirect-information limitation of Section 4.3: the local queue
+        ``q1`` reflects the remote global-channel queue ``q0`` only after
+        ``q0`` is completely full.
+        """
+        return self._pending[router][out_port]
+
+    def output_vc_occupancy(self, router: int, out_port: int, vc: int) -> int:
+        """Per-VC component of :meth:`output_occupancy`."""
+        return self._pending_vc[router][out_port * self._vcs + vc]
+
+    def check_invariants(self) -> None:
+        """Flow-control invariants; raises AssertionError on violation.
+
+        Used by the test suite (and callable at any cycle): buffer
+        occupancies stay within the configured depth, credit counters stay
+        in range, and per-output pending counters match the queues.
+        """
+        depth = self._depth
+        for router in range(self._num_routers):
+            for index in range(self._radix * self._vcs):
+                assert 0 <= self._buf_count[router][index] <= depth, (
+                    f"buffer {index} of router {router} out of range"
+                )
+                assert 0 <= self._credits[router][index] <= depth, (
+                    f"credit counter {index} of router {router} out of range"
+                )
+            for port in range(self._radix):
+                queued = sum(
+                    self._pending_vc[router][port * self._vcs + vc]
+                    for vc in range(self._vcs)
+                )
+                assert queued == self._pending[router][port], (
+                    f"pending counter of router {router} port {port} drifted"
+                )
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        config = self.config
+        limit = self._measure_end + config.drain_max_cycles
+        drained = False
+        for now in range(limit):
+            self.now = now
+            self._deliver_arrivals(now)
+            self._deliver_credits(now)
+            self._inject(now)
+            self._switch()
+            if now == self._measure_end:
+                queues = self._source_queue
+                self._source_queue_at_end = sum(
+                    len(queue) for queue in queues
+                ) / max(1, len(queues))
+            if now >= self._measure_end and self._outstanding_tagged == 0:
+                drained = True
+                break
+        return SimulationResult(
+            routing_name=self.routing.name,
+            pattern_name=getattr(self.pattern, "name", "custom"),
+            offered_load=config.load,
+            num_terminals=self.topology.num_terminals,
+            measure_cycles=config.measure_cycles,
+            drained=drained,
+            samples=self._samples,
+            ejected_flits_in_window=self._ejected_flits_in_window,
+            global_channel_flits=self._global_channel_flits,
+            unfinished_tagged=self._outstanding_tagged,
+            warmup_cycles=config.warmup_cycles,
+            total_cycles=self.now + 1,
+            avg_source_queue_at_end=self._source_queue_at_end,
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 1: channel and credit deliveries
+    # ------------------------------------------------------------------
+    def _deliver_arrivals(self, now: int) -> None:
+        batch = self._arrivals.pop(now, None)
+        if not batch:
+            return
+        for router, port, flit in batch:
+            assert flit.upstream is not None
+            in_idx = port * self._vcs + flit.upstream[2]
+            self._enqueue(router, in_idx, flit)
+
+    def _deliver_credits(self, now: int) -> None:
+        batch = self._credit_events.pop(now, None)
+        if not batch:
+            return
+        for router, index in batch:
+            self._credits[router][index] += 1
+            if self._credit_delay_enabled:
+                port = index // self._vcs
+                ctq = self._ctq[router][port]
+                if ctq:
+                    t_crt = now - ctq.popleft()
+                    excess = t_crt - self._tcrt0[router][port]
+                    self._td[router][port] = float(max(0, excess))
+
+    # ------------------------------------------------------------------
+    # Phase 2: injection
+    # ------------------------------------------------------------------
+    def _inject(self, now: int) -> None:
+        config = self.config
+        if self._bulk_mode:
+            for terminal in range(len(self._source_queue)):
+                self._inject_one(terminal, now)
+            return
+        packet_prob = config.load / config.packet_size
+        rng = self._rng_traffic
+        tagged_window = self._measure_start <= now < self._measure_end
+        for terminal in range(len(self._source_queue)):
+            if rng.random() < packet_prob:
+                packet = Packet(
+                    index=self._packet_counter,
+                    src_terminal=terminal,
+                    dst_terminal=self.pattern(terminal),
+                    creation_time=now,
+                    size=config.packet_size,
+                    measured=tagged_window,
+                )
+                self._packet_counter += 1
+                if tagged_window:
+                    self._outstanding_tagged += 1
+                self._source_queue[terminal].append(packet)
+            self._inject_one(terminal, now)
+
+    def _inject_one(self, terminal: int, now: int) -> None:
+        """Move at most one flit from the terminal into its router."""
+        inflight = self._inflight_injection[terminal]
+        router = self._terminal_router[terminal]
+        port = self._terminal_port[terminal]
+        if inflight:
+            # Continue the current packet; space was reserved at head
+            # injection and only this terminal fills the buffer.
+            flit = inflight.popleft()
+            in_idx = port * self._vcs + flit.packet.hop_assignment[router][1]
+            self._enqueue(router, in_idx, flit)
+            return
+        queue = self._source_queue[terminal]
+        if not queue:
+            return
+        packet = queue[0]
+        if packet.plan is None:
+            packet.plan = self.routing.decide(
+                self, self.topology, self._rng_route, router, packet.dst_terminal
+            )
+            first_port, first_vc, _ = self.routing.next_hop(
+                self.topology, router, packet.plan, 0, packet.dst_terminal
+            )
+            packet.hop_assignment[router] = (first_port, first_vc)
+        in_vc = packet.hop_assignment[router][1]
+        in_idx = port * self._vcs + in_vc
+        free = self._depth - self._buf_count[router][in_idx]
+        if free < packet.size:
+            return
+        queue.popleft()
+        packet.inject_time = now
+        flits = make_flits(packet)
+        self._enqueue(router, in_idx, flits[0])
+        for body in flits[1:]:
+            inflight.append(body)
+
+    # ------------------------------------------------------------------
+    # Phase 3: switch traversal
+    # ------------------------------------------------------------------
+    def _enqueue(self, router: int, in_idx: int, flit: Flit) -> None:
+        packet = flit.packet
+        if flit.is_head:
+            out_port, out_vc, next_progress = self.routing.next_hop(
+                self.topology,
+                router,
+                packet.plan,
+                flit.progress,
+                packet.dst_terminal,
+            )
+            if packet.vc_class and self._channel_info[router][out_port] is not None:
+                # Protocol classes ride disjoint VC sets (Section 4.1).
+                out_vc += 3 * packet.vc_class
+            packet.hop_assignment[router] = (out_port, out_vc)
+            flit.next_progress = next_progress
+        else:
+            out_port, out_vc = packet.hop_assignment[router]
+        flit.out_port = out_port
+        flit.out_vc = out_vc
+        flit.in_idx = in_idx
+        if (
+            self._credit_delay_enabled
+            and self._channel_info[router][out_port] is not None
+        ):
+            # Credit time queue: stamp the flit toward its output now; the
+            # stamp is popped when the downstream credit returns, so t_crt
+            # measures queueing toward the output plus the round trip.
+            self._ctq[router][out_port].append(self.now)
+        self._buf_count[router][in_idx] += 1
+        out_idx = out_port * self._vcs + out_vc
+        if self._multi_flit:
+            key = (out_idx, packet.index)
+            if flit.is_head:
+                stream = _Stream(packet)
+                self._streams[router][key] = stream
+                self._out_q[router][out_idx].append(stream)
+            else:
+                stream = self._streams[router][key]
+            stream.flits.append(flit)
+        else:
+            self._out_q[router][out_idx].append(flit)
+        self._pending[router][out_port] += 1
+        self._pending_vc[router][out_idx] += 1
+
+    def _switch(self) -> None:
+        vcs = self._vcs
+        for router in range(self._num_routers):
+            pending = self._pending[router]
+            out_q = self._out_q[router]
+            rr = self._rr_vc[router]
+            for out_port in range(self._radix):
+                if not pending[out_port]:
+                    continue
+                base = out_port * vcs
+                start = rr[out_port]
+                for offset in range(vcs):
+                    vc = (start + offset) % vcs
+                    queue = out_q[base + vc]
+                    if not queue:
+                        continue
+                    if self._multi_flit:
+                        stream = queue[0]
+                        if not stream.flits:
+                            continue  # owner's next flit still in flight
+                        flit = stream.flits[0]
+                    else:
+                        flit = queue[0]
+                    if self._can_forward(router, out_port, vc, flit):
+                        self._forward(router, out_port, flit)
+                        rr[out_port] = (vc + 1) % vcs
+                        break
+
+    def _can_forward(self, router: int, out_port: int, vc: int, flit: Flit) -> bool:
+        if self._channel_info[router][out_port] is None:
+            return True  # ejection ports sink one flit per cycle
+        available = self._credits[router][out_port * self._vcs + vc]
+        if self._multi_flit and flit.is_head:
+            # Virtual cut-through: reserve room for the whole packet.  The
+            # stream queue guarantees no other packet consumes this VC's
+            # credits before our tail leaves.
+            return available >= flit.packet.size
+        return available >= 1
+
+    def _forward(self, router: int, out_port: int, flit: Flit) -> None:
+        now = self.now
+        vcs = self._vcs
+        out_vc = flit.out_vc
+        out_idx = out_port * vcs + out_vc
+        if self._multi_flit:
+            stream = self._out_q[router][out_idx][0]
+            stream.flits.popleft()
+            if flit.is_tail:
+                self._out_q[router][out_idx].popleft()
+                del self._streams[router][(out_idx, flit.packet.index)]
+        else:
+            self._out_q[router][out_idx].popleft()
+        self._pending[router][out_port] -= 1
+        self._pending_vc[router][out_idx] -= 1
+        self._buf_count[router][flit.in_idx] -= 1
+
+        info = self._channel_info[router][out_port]
+
+        # Return the credit for the vacated buffer slot upstream, possibly
+        # delayed by the credit round-trip mechanism.
+        upstream = flit.upstream
+        if upstream is not None:
+            up_router, up_port, up_vc, up_latency = upstream
+            delay = 0
+            if (
+                self._credit_delay_enabled
+                and info is not None
+                and not flit.arrived_on_global
+            ):
+                delay = self._credit_delay(router, out_port)
+            self._credit_events.setdefault(now + up_latency + delay, []).append(
+                (up_router, up_port * vcs + up_vc)
+            )
+
+        if info is None:
+            self._eject(router, out_port, flit, now)
+            return
+
+        dst_router, dst_port, latency, is_global, channel_index = info
+        self._credits[router][out_idx] -= 1
+        flit.progress = flit.next_progress
+        if is_global:
+            if self._measure_start <= now < self._measure_end:
+                self._global_channel_flits[channel_index] = (
+                    self._global_channel_flits.get(channel_index, 0) + 1
+                )
+        flit.upstream = (router, out_port, out_vc, latency)
+        flit.arrived_on_global = is_global
+        self._arrivals.setdefault(now + latency, []).append((dst_router, dst_port, flit))
+
+    def _credit_delay(self, router: int, out_port: int) -> int:
+        """``gain * (t_d(O) - min_o t_d(o))`` over the network outputs."""
+        td = self._td[router]
+        minimum = min(td[port] for port in self._network_ports[router])
+        excess = td[out_port] - minimum
+        if excess <= 0:
+            return 0
+        return int(self.config.credit_delay_gain * excess)
+
+    def _eject(self, router: int, port: int, flit: Flit, now: int) -> None:
+        if self._measure_start <= now < self._measure_end:
+            self._ejected_flits_in_window += 1
+        if not flit.is_tail:
+            return
+        packet = flit.packet
+        terminal = self.topology.fabric.terminal_at(router, port)
+        assert terminal is not None and terminal.index == packet.dst_terminal, (
+            f"packet {packet.index} for terminal {packet.dst_terminal} "
+            f"ejected at router {router} port {port} (misrouted)"
+        )
+        packet.eject_time = now + self._terminal_latency
+        if self.config.request_reply and packet.vc_class == 0:
+            # The request stays open until its reply lands; spawn the
+            # reply at the destination NIC.
+            reply = Packet(
+                index=self._packet_counter,
+                src_terminal=packet.dst_terminal,
+                dst_terminal=packet.src_terminal,
+                creation_time=now + self._terminal_latency,
+                size=packet.size,
+                measured=packet.measured,
+                vc_class=1,
+                request=packet,
+            )
+            self._packet_counter += 1
+            self._source_queue[packet.dst_terminal].append(reply)
+            return
+        if packet.measured:
+            self._outstanding_tagged -= 1
+            assert packet.plan is not None
+            origin = packet.request if packet.request is not None else packet
+            latency = packet.eject_time - origin.creation_time
+            self._samples.append(
+                LatencySample(latency=latency, minimal=packet.plan.minimal)
+            )
+
+
+def simulate(
+    topology: Dragonfly,
+    routing: RoutingAlgorithm,
+    pattern: Callable[[int], int],
+    config: SimulationConfig,
+) -> SimulationResult:
+    """Convenience one-shot run."""
+    return Simulator(topology, routing, pattern, config).run()

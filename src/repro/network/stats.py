@@ -1,0 +1,141 @@
+"""Measurement results of a simulation run.
+
+The paper's methodology (Section 4.2): warm up, tag the packets injected
+during a measurement window, run until every tagged packet has been
+ejected, and report statistics over the tagged packets only.  Channel
+utilisation and accepted throughput are measured over the window itself.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class LatencySample:
+    """Latency of one tagged packet."""
+
+    latency: int
+    minimal: bool
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else math.nan
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produces; figures are derived from these fields."""
+
+    routing_name: str
+    pattern_name: str
+    offered_load: float
+    num_terminals: int
+    measure_cycles: int
+    #: False when tagged packets could not be drained within the limit --
+    #: the canonical signature of operating beyond saturation.
+    drained: bool
+    samples: List[LatencySample] = field(default_factory=list)
+    #: Flits ejected during the measurement window (all packets).
+    ejected_flits_in_window: int = 0
+    #: Flits forwarded per *global* channel during the window, keyed by
+    #: directed channel index.
+    global_channel_flits: Dict[int, int] = field(default_factory=dict)
+    #: Count of tagged packets still in flight when the run ended.
+    unfinished_tagged: int = 0
+    warmup_cycles: int = 0
+    total_cycles: int = 0
+    #: Mean per-terminal source-queue depth when the measurement window
+    #: closed -- the cleanest saturation indicator (grows without bound
+    #: beyond capacity, stays O(1) below it).
+    avg_source_queue_at_end: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Latency
+    # ------------------------------------------------------------------
+    @property
+    def saturated(self) -> bool:
+        return not self.drained
+
+    @property
+    def latencies(self) -> List[int]:
+        return [s.latency for s in self.samples]
+
+    @property
+    def avg_latency(self) -> float:
+        """Weighted average over minimal and non-minimal tagged packets."""
+        return _mean(self.latencies)
+
+    @property
+    def avg_minimal_latency(self) -> float:
+        return _mean([s.latency for s in self.samples if s.minimal])
+
+    @property
+    def avg_nonminimal_latency(self) -> float:
+        return _mean([s.latency for s in self.samples if not s.minimal])
+
+    @property
+    def minimal_fraction(self) -> float:
+        if not self.samples:
+            return math.nan
+        return sum(1 for s in self.samples if s.minimal) / len(self.samples)
+
+    def latency_percentile(self, q: float) -> float:
+        if not (0.0 <= q <= 100.0):
+            raise ValueError("percentile must be in [0, 100]")
+        if not self.samples:
+            return math.nan
+        ordered = sorted(self.latencies)
+        rank = (len(ordered) - 1) * q / 100.0
+        low = int(math.floor(rank))
+        high = min(low + 1, len(ordered) - 1)
+        frac = rank - low
+        return ordered[low] * (1 - frac) + ordered[high] * frac
+
+    def latency_histogram(
+        self, bin_width: int = 5, minimal_only: Optional[bool] = None
+    ) -> List[Tuple[int, float]]:
+        """(bin start, fraction of packets) pairs -- Figure 12's view."""
+        if bin_width < 1:
+            raise ValueError("bin_width must be >= 1")
+        selected = [
+            s.latency
+            for s in self.samples
+            if minimal_only is None or s.minimal == minimal_only
+        ]
+        if not self.samples:
+            return []
+        counts: Dict[int, int] = {}
+        for latency in selected:
+            counts[latency // bin_width] = counts.get(latency // bin_width, 0) + 1
+        total = len(self.samples)  # fractions relative to all tagged packets
+        return [
+            (bin_index * bin_width, counts[bin_index] / total)
+            for bin_index in sorted(counts)
+        ]
+
+    # ------------------------------------------------------------------
+    # Throughput and channel load
+    # ------------------------------------------------------------------
+    @property
+    def accepted_load(self) -> float:
+        """Flits ejected per terminal per cycle during the window."""
+        return self.ejected_flits_in_window / (self.num_terminals * self.measure_cycles)
+
+    def global_channel_utilization(self) -> Dict[int, float]:
+        """Busy fraction of each directed global channel over the window."""
+        return {
+            channel: flits / self.measure_cycles
+            for channel, flits in sorted(self.global_channel_flits.items())
+        }
+
+    def summary(self) -> str:
+        status = "saturated" if self.saturated else "ok"
+        return (
+            f"{self.routing_name:10s} {self.pattern_name:14s} "
+            f"load={self.offered_load:.3f} accepted={self.accepted_load:.3f} "
+            f"latency={self.avg_latency:7.2f} min%={100 * self.minimal_fraction:5.1f} "
+            f"[{status}]"
+        )

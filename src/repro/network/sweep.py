@@ -1,0 +1,112 @@
+"""Load sweeps and saturation-throughput search.
+
+The paper's latency/throughput figures are load sweeps: run the simulator
+at a series of offered loads and plot average latency (Figures 8, 10, 11,
+14, 16) or read off the load where latency diverges (throughput).  This
+module provides the sweep driver and a saturation-throughput bisection.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..routing.base import RoutingAlgorithm
+from ..routing.ugal import make_routing
+from ..topology.dragonfly import Dragonfly
+from .config import SimulationConfig
+from .simulator import Simulator
+from .stats import SimulationResult
+from .traffic import make_pattern
+
+
+@dataclass
+class SweepPoint:
+    """One (offered load, result) pair of a sweep."""
+
+    load: float
+    result: SimulationResult
+
+    @property
+    def latency(self) -> float:
+        """Average latency, infinite when the run saturated."""
+        if self.result.saturated:
+            return math.inf
+        return self.result.avg_latency
+
+
+def run_point(
+    topology: Dragonfly,
+    routing: RoutingAlgorithm,
+    pattern_name: str,
+    config: SimulationConfig,
+) -> SimulationResult:
+    """One simulation run with a freshly seeded pattern."""
+    pattern = make_pattern(pattern_name, topology, seed=config.seed + 17)
+    return Simulator(topology, routing, pattern, config).run()
+
+
+def load_sweep(
+    topology: Dragonfly,
+    routing_name: str,
+    pattern_name: str,
+    loads: Sequence[float],
+    config: SimulationConfig,
+) -> List[SweepPoint]:
+    """Latency-vs-offered-load curve for one routing algorithm.
+
+    Each point gets a fresh simulator and routing instance so runs are
+    independent and reproducible.
+    """
+    points = []
+    for load in loads:
+        routing = make_routing(routing_name)
+        result = run_point(topology, routing, pattern_name, config.with_load(load))
+        points.append(SweepPoint(load=load, result=result))
+    return points
+
+
+def saturation_load(
+    topology: Dragonfly,
+    routing_name: str,
+    pattern_name: str,
+    config: SimulationConfig,
+    low: float = 0.02,
+    high: float = 1.0,
+    tolerance: float = 0.02,
+    latency_limit: Optional[float] = None,
+    accepted_fraction: float = 0.97,
+) -> float:
+    """Bisection estimate of saturation throughput.
+
+    A load is "beyond saturation" when the run fails to drain its tagged
+    packets, when accepted load falls below ``accepted_fraction`` of the
+    offered load (the robust criterion -- beyond saturation the network
+    delivers its capacity regardless of the measurement window), or when
+    ``latency_limit`` is given and average latency exceeds it.  Returns
+    the highest load found below saturation.
+    """
+
+    def is_stable(load: float) -> bool:
+        routing = make_routing(routing_name)
+        result = run_point(topology, routing, pattern_name, config.with_load(load))
+        if result.saturated:
+            return False
+        if result.accepted_load < accepted_fraction * load:
+            return False
+        if latency_limit is not None and result.avg_latency > latency_limit:
+            return False
+        return True
+
+    if not is_stable(low):
+        return 0.0
+    if is_stable(high):
+        return high
+    while high - low > tolerance:
+        mid = (low + high) / 2
+        if is_stable(mid):
+            low = mid
+        else:
+            high = mid
+    return low

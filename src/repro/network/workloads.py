@@ -1,0 +1,214 @@
+"""Application-style bulk-synchronous workloads (extension).
+
+The paper motivates the dragonfly with large multicomputers whose
+application performance hinges on remote-memory communication.  This
+module models that workload class directly: an application is a sequence
+of *communication phases* (all-to-all, nearest-neighbour exchange,
+transpose, ...), each delivering a fixed per-terminal message volume;
+phase completion time -- the metric applications feel -- is measured by
+running each phase to empty through the cycle-accurate simulator
+(``packets_per_terminal`` bulk mode).
+
+Predefined workloads approximate common HPC kernels using the synthetic
+patterns available on a dragonfly:
+
+* ``stencil_exchange`` -- halo exchanges with neighbouring ranks
+  (shift patterns at two strides);
+* ``fft_transpose`` -- all-to-all-heavy transpose phases mixed with
+  uniform traffic;
+* ``global_reduce`` -- hotspot convergence followed by broadcast-like
+  uniform traffic;
+* ``adversarial_neighbor`` -- group-to-next-group bulk exchange, the
+  pattern that punishes minimal routing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..routing.ugal import make_routing
+from ..topology.dragonfly import Dragonfly
+from .config import SimulationConfig
+from .simulator import Simulator
+from .traffic import make_pattern
+
+
+@dataclass(frozen=True)
+class CommunicationPhase:
+    """One bulk-synchronous communication phase."""
+
+    name: str
+    pattern: str
+    #: Messages (packets) each terminal sends in this phase.
+    packets_per_terminal: int
+    packet_size: int = 1
+    pattern_kwargs: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.packets_per_terminal < 1:
+            raise ValueError("packets_per_terminal must be >= 1")
+        if self.packet_size < 1:
+            raise ValueError("packet_size must be >= 1")
+
+
+@dataclass(frozen=True)
+class ApplicationWorkload:
+    """A named sequence of communication phases."""
+
+    name: str
+    phases: Sequence[CommunicationPhase]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("a workload needs at least one phase")
+
+    @property
+    def total_packets_per_terminal(self) -> int:
+        return sum(phase.packets_per_terminal for phase in self.phases)
+
+
+@dataclass
+class PhaseResult:
+    """Completion statistics of one phase."""
+
+    phase: CommunicationPhase
+    completed: bool
+    completion_cycles: int
+    avg_latency: float
+    p99_latency: float
+
+
+@dataclass
+class WorkloadResult:
+    """Per-phase and aggregate results of one workload run."""
+
+    workload: ApplicationWorkload
+    routing_name: str
+    phase_results: List[PhaseResult] = field(default_factory=list)
+
+    @property
+    def completed(self) -> bool:
+        return all(result.completed for result in self.phase_results)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(result.completion_cycles for result in self.phase_results)
+
+    def summary(self) -> str:
+        status = "ok" if self.completed else "INCOMPLETE"
+        return (
+            f"{self.workload.name:22s} {self.routing_name:10s} "
+            f"{self.total_cycles:7d} cycles [{status}]"
+        )
+
+
+def run_workload(
+    topology: Dragonfly,
+    routing_name: str,
+    workload: ApplicationWorkload,
+    base_config: Optional[SimulationConfig] = None,
+    seed: int = 1,
+) -> WorkloadResult:
+    """Run every phase to completion and collect its timing.
+
+    Phases are bulk-synchronous: a phase starts only after the previous
+    one fully drains (the simulator is reset between phases, modelling
+    the barrier).
+    """
+    base_config = base_config or SimulationConfig()
+    result = WorkloadResult(workload=workload, routing_name=routing_name)
+    for index, phase in enumerate(workload.phases):
+        config = dataclasses.replace(
+            base_config,
+            packets_per_terminal=phase.packets_per_terminal,
+            packet_size=phase.packet_size,
+            seed=seed + index,
+        )
+        pattern = make_pattern(
+            phase.pattern, topology, seed=seed + 100 + index, **phase.pattern_kwargs
+        )
+        run = Simulator(topology, make_routing(routing_name), pattern, config).run()
+        result.phase_results.append(
+            PhaseResult(
+                phase=phase,
+                completed=run.drained,
+                completion_cycles=run.total_cycles,
+                avg_latency=run.avg_latency,
+                p99_latency=run.latency_percentile(99),
+            )
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Predefined workloads
+# ----------------------------------------------------------------------
+def stencil_exchange(volume: int = 8) -> ApplicationWorkload:
+    """Nearest-neighbour halo exchange at two strides."""
+    return ApplicationWorkload(
+        name="stencil_exchange",
+        phases=[
+            CommunicationPhase(
+                "halo+1", "shift", volume, pattern_kwargs={"offset": 1}
+            ),
+            CommunicationPhase(
+                "halo-1", "shift", volume, pattern_kwargs={"offset": -1}
+            ),
+            CommunicationPhase(
+                "halo+row", "shift", volume, pattern_kwargs={"offset": 8}
+            ),
+        ],
+    )
+
+
+def fft_transpose(volume: int = 6, num_terminals: Optional[int] = None) -> ApplicationWorkload:
+    """Transpose-dominated kernel; falls back to uniform when N is not
+    square (the transpose pattern needs a square terminal count)."""
+    phases = [CommunicationPhase("butterfly", "uniform_random", volume)]
+    side_ok = (
+        num_terminals is not None
+        and int(round(num_terminals**0.5)) ** 2 == num_terminals
+    )
+    pattern = "transpose" if side_ok else "random_permutation"
+    phases.append(CommunicationPhase("transpose", pattern, volume))
+    phases.append(CommunicationPhase("butterfly2", "uniform_random", volume))
+    return ApplicationWorkload(name="fft_transpose", phases=phases)
+
+
+def global_reduce(volume: int = 4) -> ApplicationWorkload:
+    """Reduction to a root followed by redistribution."""
+    return ApplicationWorkload(
+        name="global_reduce",
+        phases=[
+            CommunicationPhase(
+                "reduce",
+                "hotspot",
+                volume,
+                pattern_kwargs={"hot_fraction": 0.5},
+            ),
+            CommunicationPhase("broadcast", "uniform_random", volume),
+        ],
+    )
+
+
+def adversarial_neighbor(volume: int = 8) -> ApplicationWorkload:
+    """Bulk group-to-next-group exchange (the paper's WC pattern)."""
+    return ApplicationWorkload(
+        name="adversarial_neighbor",
+        phases=[
+            CommunicationPhase("exchange", "worst_case", volume),
+            CommunicationPhase("return", "worst_case", volume,
+                               pattern_kwargs={"group_offset": -1}),
+        ],
+    )
+
+
+def standard_workloads(num_terminals: Optional[int] = None) -> List[ApplicationWorkload]:
+    return [
+        stencil_exchange(),
+        fft_transpose(num_terminals=num_terminals),
+        global_reduce(),
+        adversarial_neighbor(),
+    ]

@@ -1,0 +1,113 @@
+"""Routing algorithms for the dragonfly (Section 4)."""
+
+from . import vc_assignment
+from .base import CongestionView, RoutingAlgorithm, ZeroCongestion
+from .fb_paths import (
+    FbRoutePlan,
+    fb_minimal_plan,
+    fb_next_hop,
+    fb_plan_hops,
+    fb_valiant_plan,
+    fb_walk_route,
+)
+from .clos_routing import (
+    ClosDeterministicRouting,
+    ClosRandomRouting,
+    ClosRoutePlan,
+    clos_plan,
+    clos_walk_route,
+    make_clos_routing,
+)
+from .fb_routing import FbMinimalRouting, FbUgalL, FbValiantRouting, make_fb_routing
+from .torus_routing import (
+    TorusMinimalRouting,
+    TorusRoutePlan,
+    TorusValiantRouting,
+    make_torus_routing,
+    torus_minimal_plan,
+    torus_next_hop,
+    torus_valiant_plan,
+    torus_walk_route,
+)
+from .minimal import MinimalRouting
+from .paths import minimal_plan, next_hop, plan_hops, valiant_plan, walk_route
+from .ugal import UgalG, UgalL, UgalLCr, UgalLVc, UgalLVcH, make_routing
+from .valiant import ValiantRouting
+from .variant_paths import (
+    variant_minimal_plan,
+    variant_next_hop,
+    variant_plan_hops,
+    variant_valiant_plan,
+    variant_walk_route,
+)
+from .variant_routing import (
+    VariantMinimalRouting,
+    VariantUgalL,
+    VariantValiantRouting,
+    make_variant_routing,
+)
+
+#: Every algorithm the paper evaluates, in presentation order.
+ALL_ROUTING_NAMES = [
+    "MIN",
+    "VAL",
+    "UGAL-L",
+    "UGAL-G",
+    "UGAL-L_VC",
+    "UGAL-L_VCH",
+    "UGAL-L_CR",
+]
+
+__all__ = [
+    "vc_assignment",
+    "FbRoutePlan",
+    "fb_minimal_plan",
+    "fb_next_hop",
+    "fb_plan_hops",
+    "fb_valiant_plan",
+    "fb_walk_route",
+    "ClosDeterministicRouting",
+    "ClosRandomRouting",
+    "ClosRoutePlan",
+    "clos_plan",
+    "clos_walk_route",
+    "make_clos_routing",
+    "FbMinimalRouting",
+    "FbUgalL",
+    "FbValiantRouting",
+    "make_fb_routing",
+    "TorusMinimalRouting",
+    "TorusRoutePlan",
+    "TorusValiantRouting",
+    "make_torus_routing",
+    "torus_minimal_plan",
+    "torus_next_hop",
+    "torus_valiant_plan",
+    "torus_walk_route",
+    "CongestionView",
+    "RoutingAlgorithm",
+    "ZeroCongestion",
+    "MinimalRouting",
+    "minimal_plan",
+    "next_hop",
+    "plan_hops",
+    "valiant_plan",
+    "walk_route",
+    "UgalG",
+    "UgalL",
+    "UgalLCr",
+    "UgalLVc",
+    "UgalLVcH",
+    "make_routing",
+    "ValiantRouting",
+    "variant_minimal_plan",
+    "variant_next_hop",
+    "variant_plan_hops",
+    "variant_valiant_plan",
+    "variant_walk_route",
+    "VariantMinimalRouting",
+    "VariantUgalL",
+    "VariantValiantRouting",
+    "make_variant_routing",
+    "ALL_ROUTING_NAMES",
+]

@@ -1,0 +1,137 @@
+"""Route plans and execution for the flattened butterfly.
+
+An extension beyond the paper's simulations (which cover the dragonfly
+only): the same simulator drives the paper's main comparison topology, so
+dragonfly-vs-flattened-butterfly claims can be checked in simulation and
+not just in the cost model.
+
+Minimal routing is dimension order (DOR): correct one differing
+coordinate at a time, one hop per dimension.  Non-minimal routing applies
+Valiant's algorithm at the router level -- DOR to a random intermediate
+router, then DOR to the destination -- using one VC per phase for
+deadlock freedom (DOR itself is acyclic within a phase; the phase index
+only ever increases).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..topology.flattened_butterfly import FlattenedButterfly
+
+
+@dataclass
+class FbRoutePlan:
+    """Per-packet decision on a flattened butterfly.
+
+    ``progress`` semantics for the executor: phase 0 heads to the
+    intermediate router (Valiant only), phase 1 to the destination.
+    """
+
+    minimal: bool
+    intermediate_router: Optional[int] = None
+
+    @property
+    def num_global_hops(self) -> int:
+        # Reported for interface parity with the dragonfly plan.
+        return 0
+
+
+def fb_minimal_plan() -> FbRoutePlan:
+    return FbRoutePlan(minimal=True)
+
+
+def fb_valiant_plan(
+    topology: FlattenedButterfly,
+    rng: random.Random,
+    src_router: int,
+    dst_terminal: int,
+    intermediate_router: Optional[int] = None,
+) -> FbRoutePlan:
+    """Valiant route via a random intermediate router.
+
+    Degenerates to the minimal plan when the draw lands on the source or
+    destination router.
+    """
+    dst_router = topology.terminal_router(dst_terminal)
+    if intermediate_router is None:
+        intermediate_router = rng.randrange(topology.num_routers)
+    if intermediate_router in (src_router, dst_router):
+        return fb_minimal_plan()
+    return FbRoutePlan(minimal=False, intermediate_router=intermediate_router)
+
+
+def fb_plan_hops(
+    topology: FlattenedButterfly,
+    src_router: int,
+    dst_terminal: int,
+    plan: FbRoutePlan,
+) -> int:
+    """Channel hops of a plan (Hamming distances of its DOR phases)."""
+    dst_router = topology.terminal_router(dst_terminal)
+    if plan.minimal or plan.intermediate_router is None:
+        return _hamming(topology, src_router, dst_router)
+    return _hamming(topology, src_router, plan.intermediate_router) + _hamming(
+        topology, plan.intermediate_router, dst_router
+    )
+
+
+def _hamming(topology: FlattenedButterfly, router_a: int, router_b: int) -> int:
+    coords_a = topology.coords_of(router_a)
+    coords_b = topology.coords_of(router_b)
+    return sum(1 for a, b in zip(coords_a, coords_b) if a != b)
+
+
+def fb_next_hop(
+    topology: FlattenedButterfly,
+    router: int,
+    plan: FbRoutePlan,
+    progress: int,
+    dst_terminal: int,
+) -> Tuple[int, int, int]:
+    """(out_port, out_vc, next_progress) of dimension-order execution."""
+    dst_router = topology.terminal_router(dst_terminal)
+    phase = progress
+    if (
+        not plan.minimal
+        and phase == 0
+        and router == plan.intermediate_router
+    ):
+        phase = 1  # reached the intermediate router; head for home
+    heading_home = plan.minimal or phase >= 1 or plan.intermediate_router is None
+    target = dst_router if heading_home else plan.intermediate_router
+    if router == target:
+        # Only reachable when the target is the destination (arriving at
+        # the intermediate flips the phase above).
+        terminal = topology.fabric.terminals[dst_terminal]
+        return terminal.port, 0, phase
+    src_coords = topology.coords_of(router)
+    dst_coords = topology.coords_of(target)
+    for dim, (src_coord, dst_coord) in enumerate(zip(src_coords, dst_coords)):
+        if src_coord != dst_coord:
+            port = topology.dim_port(router, dim, dst_coord)
+            return port, phase, phase
+    raise AssertionError("router == target was handled above")
+
+
+def fb_walk_route(
+    topology: FlattenedButterfly,
+    src_router: int,
+    dst_terminal: int,
+    plan: FbRoutePlan,
+):
+    """Full (router, port, vc) trace of a plan (tests and analytics)."""
+    trace = []
+    router = src_router
+    progress = 0
+    bound = 2 * len(topology.dims) + 2
+    for _ in range(bound):
+        port, vc, progress = fb_next_hop(topology, router, plan, progress, dst_terminal)
+        trace.append((router, port, vc))
+        channel = topology.fabric.out_channel(router, port)
+        if channel is None:
+            return trace  # ejected
+        router = channel.dst.router
+    raise AssertionError("flattened-butterfly route failed to terminate")

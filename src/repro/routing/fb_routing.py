@@ -1,0 +1,107 @@
+"""Routing algorithms for the flattened butterfly (extension).
+
+The same MIN / VAL / UGAL-L trio the dragonfly paper evaluates, applied
+to its comparison topology (as in the flattened butterfly paper, Kim et
+al. ISCA 2007).  UGAL-G is not provided: on the flattened butterfly the
+congested channel is attached to the *source* router itself (DOR's first
+hop), so local queue state is no longer indirect -- which is exactly the
+contrast the dragonfly paper draws.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from ..topology.flattened_butterfly import FlattenedButterfly
+from .base import CongestionView, RoutingAlgorithm
+from .fb_paths import (
+    FbRoutePlan,
+    fb_minimal_plan,
+    fb_next_hop,
+    fb_plan_hops,
+    fb_valiant_plan,
+)
+
+
+class _FbRouting(RoutingAlgorithm):
+    """Shared executor for flattened-butterfly algorithms."""
+
+    def next_hop(
+        self,
+        topology: FlattenedButterfly,
+        router: int,
+        plan: FbRoutePlan,
+        progress: int,
+        dst_terminal: int,
+    ) -> Tuple[int, int, int]:
+        return fb_next_hop(topology, router, plan, progress, dst_terminal)
+
+
+class FbMinimalRouting(_FbRouting):
+    """Dimension-order minimal routing."""
+
+    name = "FB-MIN"
+
+    def decide(self, view, topology, rng, src_router, dst_terminal):
+        return fb_minimal_plan()
+
+
+class FbValiantRouting(_FbRouting):
+    """Router-level Valiant routing."""
+
+    name = "FB-VAL"
+
+    def decide(self, view, topology, rng, src_router, dst_terminal):
+        return fb_valiant_plan(topology, rng, src_router, dst_terminal)
+
+
+class FbUgalL(_FbRouting):
+    """UGAL with local queue information on the flattened butterfly.
+
+    Chooses between the DOR route and one sampled Valiant route by
+    comparing first-hop queue occupancy weighted by hop count -- the
+    same rule as on the dragonfly, but here the relevant queues live on
+    the source router, so local information is *direct*.
+    """
+
+    name = "FB-UGAL-L"
+
+    def decide(
+        self,
+        view: CongestionView,
+        topology: FlattenedButterfly,
+        rng: random.Random,
+        src_router: int,
+        dst_terminal: int,
+    ) -> FbRoutePlan:
+        dst_router = topology.terminal_router(dst_terminal)
+        if src_router == dst_router:
+            return fb_minimal_plan()
+        min_plan = fb_minimal_plan()
+        nm_plan = fb_valiant_plan(topology, rng, src_router, dst_terminal)
+        if nm_plan.minimal:
+            return min_plan
+        hops_min = fb_plan_hops(topology, src_router, dst_terminal, min_plan)
+        hops_nm = fb_plan_hops(topology, src_router, dst_terminal, nm_plan)
+        port_min, _, _ = fb_next_hop(topology, src_router, min_plan, 0, dst_terminal)
+        port_nm, _, _ = fb_next_hop(topology, src_router, nm_plan, 0, dst_terminal)
+        q_min = view.output_occupancy(src_router, port_min)
+        q_nm = view.output_occupancy(src_router, port_nm)
+        if q_min * hops_min <= q_nm * hops_nm:
+            return min_plan
+        return nm_plan
+
+
+def make_fb_routing(name: str) -> RoutingAlgorithm:
+    algorithms = {
+        "FB-MIN": FbMinimalRouting,
+        "FB-VAL": FbValiantRouting,
+        "FB-UGAL-L": FbUgalL,
+    }
+    if name not in algorithms:
+        raise ValueError(
+            f"unknown flattened-butterfly routing {name!r}; "
+            f"choose from {sorted(algorithms)}"
+        )
+    return algorithms[name]()

@@ -1,0 +1,31 @@
+"""Minimal (MIN) routing -- Section 4.1 / 4.2.
+
+Every packet takes the 3-step minimal route: at most one local hop to a
+router with a global channel to the destination group, the global
+channel, and at most one local hop to the destination router.  Optimal
+for benign traffic; throughput collapses to ``1/(ah)`` on the worst-case
+pattern because a whole group's traffic funnels onto one global channel.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..network.packet import RoutePlan
+from ..topology.dragonfly import Dragonfly
+from .base import CongestionView, RoutingAlgorithm
+from .paths import minimal_plan
+
+
+class MinimalRouting(RoutingAlgorithm):
+    name = "MIN"
+
+    def decide(
+        self,
+        view: CongestionView,
+        topology: Dragonfly,
+        rng: random.Random,
+        src_router: int,
+        dst_terminal: int,
+    ) -> RoutePlan:
+        return minimal_plan(topology, rng, src_router, dst_terminal)

@@ -1,0 +1,188 @@
+"""Route-plan construction and execution on a dragonfly.
+
+A :class:`~repro.network.packet.RoutePlan` fixes, at the source router,
+which global channel(s) the packet will use.  This module builds minimal
+and Valiant plans (Section 4.1) and executes them hop by hop -- returning
+the (output port, VC) at every router along the way using the VC
+assignment of :mod:`repro.routing.vc_assignment`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..core.params import TopologyError
+from ..network.packet import RoutePlan
+from ..topology.dragonfly import Dragonfly, GlobalLink
+from . import vc_assignment as vcs
+
+
+def _pick_best_link(
+    links: List[GlobalLink],
+    rng: random.Random,
+    src_router: int,
+    dst_router: Optional[int] = None,
+) -> GlobalLink:
+    """Pick the link minimising extra local hops, random tie-break."""
+    if not links:
+        raise TopologyError("no global link between the requested groups")
+
+    if len(links) == 1:
+        return links[0]
+    best = 3
+    candidates: List[GlobalLink] = []
+    for link in links:
+        extra = 0
+        if link.src_router != src_router:
+            extra += 1
+        if dst_router is not None and link.dst_router != dst_router:
+            extra += 1
+        if extra < best:
+            best = extra
+            candidates = [link]
+        elif extra == best:
+            candidates.append(link)
+    return candidates[rng.randrange(len(candidates))]
+
+
+def minimal_plan(
+    topology: Dragonfly,
+    rng: random.Random,
+    src_router: int,
+    dst_terminal: int,
+) -> RoutePlan:
+    """The paper's 3-step minimal route (at most one global channel)."""
+    dst_router = topology.terminal_router(dst_terminal)
+    src_group = topology.group_of(src_router)
+    dst_group = topology.group_of(dst_router)
+    if src_group == dst_group:
+        return RoutePlan(minimal=True)
+    links = topology.group_links(src_group, dst_group)
+    return RoutePlan(
+        minimal=True,
+        gc1=_pick_best_link(links, rng, src_router, dst_router),
+    )
+
+
+def valiant_plan(
+    topology: Dragonfly,
+    rng: random.Random,
+    src_router: int,
+    dst_terminal: int,
+    intermediate_group: Optional[int] = None,
+) -> RoutePlan:
+    """The 5-step Valiant route through a random intermediate group.
+
+    The intermediate group is drawn uniformly from the groups other than
+    the source group.  When it equals the destination group the route
+    degenerates to the minimal route (``minimal`` is set accordingly so
+    statistics classify the packet by the path it actually takes).
+    """
+    dst_router = topology.terminal_router(dst_terminal)
+    src_group = topology.group_of(src_router)
+    dst_group = topology.group_of(dst_router)
+    if topology.g < 2 or src_group == dst_group:
+        return minimal_plan(topology, rng, src_router, dst_terminal)
+    if intermediate_group is None:
+        intermediate_group = rng.randrange(topology.g - 1)
+        if intermediate_group >= src_group:
+            intermediate_group += 1
+    if intermediate_group == src_group:
+        raise ValueError("intermediate group must differ from the source group")
+    if intermediate_group == dst_group:
+        return minimal_plan(topology, rng, src_router, dst_terminal)
+    gc1 = _pick_best_link(
+        topology.group_links(src_group, intermediate_group), rng, src_router
+    )
+    gc2 = _pick_best_link(
+        topology.group_links(intermediate_group, dst_group),
+        rng,
+        gc1.dst_router,
+        dst_router,
+    )
+    return RoutePlan(minimal=False, gc1=gc1, gc2=gc2)
+
+
+def plan_hops(
+    topology: Dragonfly,
+    src_router: int,
+    dst_terminal: int,
+    plan: RoutePlan,
+) -> int:
+    """Router-to-router channel traversals of a plan (UGAL's hop count)."""
+    dst_router = topology.terminal_router(dst_terminal)
+    hops = 0
+    position = src_router
+    for link in (plan.gc1, plan.gc2):
+        if link is None:
+            continue
+        if position != link.src_router:
+            hops += 1  # local hop to the channel's source router
+        hops += 1  # the global channel
+        position = link.dst_router
+    if position != dst_router:
+        hops += 1  # final local hop
+    return hops
+
+
+def next_hop(
+    topology: Dragonfly,
+    router: int,
+    plan: RoutePlan,
+    global_hops_taken: int,
+    dst_terminal: int,
+) -> Tuple[int, int]:
+    """(output port, VC) for a flit of this plan at ``router``.
+
+    ``global_hops_taken`` tracks route progress; ejection returns the
+    destination's terminal port with VC 0.
+    """
+    minimal = plan.minimal
+    if plan.gc1 is not None and global_hops_taken == 0:
+        link = plan.gc1
+        if router == link.src_router:
+            return link.src_port, vcs.global_vc(minimal, 0)
+        return (
+            topology.local_port(router, link.src_router),
+            vcs.local_vc(minimal, 0),
+        )
+    if plan.gc2 is not None and global_hops_taken == 1:
+        link = plan.gc2
+        if router == link.src_router:
+            return link.src_port, vcs.global_vc(minimal, 1)
+        return (
+            topology.local_port(router, link.src_router),
+            vcs.local_vc(minimal, 1),
+        )
+    dst_router = topology.terminal_router(dst_terminal)
+    if router == dst_router:
+        return topology.terminal_port(dst_terminal), 0
+    # Final local hop (also the only hop of intra-group routes): highest VC.
+    return topology.local_port(router, dst_router), vcs.FINAL_LOCAL_VC
+
+
+def walk_route(
+    topology: Dragonfly,
+    src_router: int,
+    dst_terminal: int,
+    plan: RoutePlan,
+) -> List[Tuple[int, int, int]]:
+    """Full (router, out_port, vc) trace of a plan, ending at ejection.
+
+    Used by tests and analytics; the simulator executes hops lazily.
+    """
+    trace = []
+    router = src_router
+    global_hops = 0
+    for _ in range(2 * 5 + 2):  # generous bound; routes have <= 5 hops
+        port, vc = next_hop(topology, router, plan, global_hops, dst_terminal)
+        trace.append((router, port, vc))
+        if topology.is_terminal_port(port):
+            return trace
+        channel = topology.fabric.out_channel(router, port)
+        assert channel is not None
+        if topology.is_global_port(port):
+            global_hops += 1
+        router = channel.dst.router
+    raise TopologyError("route failed to terminate (routing bug)")

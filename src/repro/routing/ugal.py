@@ -1,0 +1,182 @@
+"""The UGAL family of global adaptive routing algorithms (Section 4.2/4.3).
+
+UGAL chooses between the minimal route and one sampled Valiant route on a
+packet-by-packet basis, estimating the delay of each candidate as
+``queue_occupancy x hop_count`` and picking the smaller:
+
+    if q_m * H_m <= q_nm * H_nm:  route minimally
+    else:                         route non-minimally
+
+The variants differ only in *which queue* supplies ``q``:
+
+``UGAL-L``
+    Occupancy of the candidate's first-hop output port at the source
+    router (all VCs).  Realisable, but the dragonfly makes this signal
+    *indirect*: the congested queue is a global channel on a different
+    router, sensed only after backpressure fills the local buffers --
+    limited throughput (Problem I) and high intermediate latency
+    (Problem II).
+``UGAL-G``
+    Occupancy of the candidate's *global channel* at the router that owns
+    it -- an ideal oracle requiring knowledge of remote queues.
+``UGAL-L_VC``
+    As UGAL-L but reading only the candidate's first-hop VC (VC1 carries
+    minimal, VC0 non-minimal traffic), separating the two classes when
+    they share an output port.  Fixes WC throughput, loses ~30% UR
+    throughput (a single VC is a poor congestion proxy when most traffic
+    is minimal).
+``UGAL-L_VCH``
+    Hybrid: per-VC occupancies only when the two candidates share the
+    first-hop output port, whole-port occupancies otherwise.  Matches
+    UGAL-G throughput on both UR and WC.
+``UGAL-L_CR``
+    UGAL-L_VCH plus the credit round-trip latency mechanism (Section
+    4.3.2): the simulator measures credit round-trip time per output,
+    and delays returned credits by the excess over the zero-load value,
+    which stiffens backpressure so congestion is sensed without filling
+    entire buffers.  Fixes the intermediate-latency spike; behaviour
+    becomes independent of buffer depth.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from ..network.packet import RoutePlan
+from ..topology.dragonfly import Dragonfly
+from .base import CongestionView, RoutingAlgorithm
+from .paths import minimal_plan, next_hop, plan_hops, valiant_plan
+
+
+class _UgalBase(RoutingAlgorithm):
+    """Shared candidate construction and comparison logic."""
+
+    def decide(
+        self,
+        view: CongestionView,
+        topology: Dragonfly,
+        rng: random.Random,
+        src_router: int,
+        dst_terminal: int,
+    ) -> RoutePlan:
+        dst_router = topology.terminal_router(dst_terminal)
+        if topology.group_of(src_router) == topology.group_of(dst_router):
+            return minimal_plan(topology, rng, src_router, dst_terminal)
+        min_candidate = minimal_plan(topology, rng, src_router, dst_terminal)
+        nm_candidate = valiant_plan(topology, rng, src_router, dst_terminal)
+        if nm_candidate.minimal:
+            # The sampled intermediate group was the destination group;
+            # the "non-minimal" candidate is the minimal route.
+            return min_candidate
+        hops_min = plan_hops(topology, src_router, dst_terminal, min_candidate)
+        hops_nm = plan_hops(topology, src_router, dst_terminal, nm_candidate)
+        q_min, q_nm = self._occupancies(
+            view, topology, src_router, dst_terminal, min_candidate, nm_candidate
+        )
+        if q_min * hops_min <= q_nm * hops_nm:
+            return min_candidate
+        return nm_candidate
+
+    def _occupancies(
+        self,
+        view: CongestionView,
+        topology: Dragonfly,
+        src_router: int,
+        dst_terminal: int,
+        min_candidate: RoutePlan,
+        nm_candidate: RoutePlan,
+    ) -> Tuple[int, int]:
+        raise NotImplementedError
+
+
+class UgalL(_UgalBase):
+    """UGAL with local whole-port queue information (conventional UGAL)."""
+
+    name = "UGAL-L"
+
+    def _occupancies(self, view, topology, src_router, dst_terminal,
+                     min_candidate, nm_candidate):
+        port_min, _ = next_hop(topology, src_router, min_candidate, 0, dst_terminal)
+        port_nm, _ = next_hop(topology, src_router, nm_candidate, 0, dst_terminal)
+        return (
+            view.output_occupancy(src_router, port_min),
+            view.output_occupancy(src_router, port_nm),
+        )
+
+
+class UgalG(_UgalBase):
+    """Ideal UGAL: reads the candidate global channels' queues directly."""
+
+    name = "UGAL-G"
+
+    def _occupancies(self, view, topology, src_router, dst_terminal,
+                     min_candidate, nm_candidate):
+        assert min_candidate.gc1 is not None and nm_candidate.gc1 is not None
+        gc_min = min_candidate.gc1
+        gc_nm = nm_candidate.gc1
+        return (
+            view.output_occupancy(gc_min.src_router, gc_min.src_port),
+            view.output_occupancy(gc_nm.src_router, gc_nm.src_port),
+        )
+
+
+class UgalLVc(_UgalBase):
+    """UGAL-L with per-VC queue discrimination on every decision."""
+
+    name = "UGAL-L_VC"
+
+    def _occupancies(self, view, topology, src_router, dst_terminal,
+                     min_candidate, nm_candidate):
+        port_min, vc_min = next_hop(topology, src_router, min_candidate, 0, dst_terminal)
+        port_nm, vc_nm = next_hop(topology, src_router, nm_candidate, 0, dst_terminal)
+        return (
+            view.output_vc_occupancy(src_router, port_min, vc_min),
+            view.output_vc_occupancy(src_router, port_nm, vc_nm),
+        )
+
+
+class UgalLVcH(_UgalBase):
+    """Hybrid: per-VC occupancy only when the candidates share a port."""
+
+    name = "UGAL-L_VCH"
+
+    def _occupancies(self, view, topology, src_router, dst_terminal,
+                     min_candidate, nm_candidate):
+        port_min, vc_min = next_hop(topology, src_router, min_candidate, 0, dst_terminal)
+        port_nm, vc_nm = next_hop(topology, src_router, nm_candidate, 0, dst_terminal)
+        if port_min == port_nm:
+            return (
+                view.output_vc_occupancy(src_router, port_min, vc_min),
+                view.output_vc_occupancy(src_router, port_nm, vc_nm),
+            )
+        return (
+            view.output_occupancy(src_router, port_min),
+            view.output_occupancy(src_router, port_nm),
+        )
+
+
+class UgalLCr(UgalLVcH):
+    """UGAL-L_VCH + credit round-trip latency backpressure (UGAL-L_CR)."""
+
+    name = "UGAL-L_CR"
+    needs_credit_delay = True
+
+
+def make_routing(name: str) -> RoutingAlgorithm:
+    """Factory by paper name, e.g. ``make_routing("UGAL-L_CR")``."""
+    from .minimal import MinimalRouting
+    from .valiant import ValiantRouting
+
+    algorithms = {
+        "MIN": MinimalRouting,
+        "VAL": ValiantRouting,
+        "UGAL-L": UgalL,
+        "UGAL-G": UgalG,
+        "UGAL-L_VC": UgalLVc,
+        "UGAL-L_VCH": UgalLVcH,
+        "UGAL-L_CR": UgalLCr,
+    }
+    if name not in algorithms:
+        raise ValueError(f"unknown routing algorithm {name!r}; choose from {sorted(algorithms)}")
+    return algorithms[name]()

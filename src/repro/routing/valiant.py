@@ -1,0 +1,31 @@
+"""Valiant (VAL) randomised non-minimal routing -- Section 4.1 / 4.2.
+
+Applies Valiant's algorithm at the *group* level: every packet is routed
+first to a uniformly random intermediate group and then minimally to its
+destination.  This balances load on both global and local channels for
+any traffic pattern at the cost of doubling global channel usage, which
+caps throughput near 50% of capacity on benign traffic.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..network.packet import RoutePlan
+from ..topology.dragonfly import Dragonfly
+from .base import CongestionView, RoutingAlgorithm
+from .paths import valiant_plan
+
+
+class ValiantRouting(RoutingAlgorithm):
+    name = "VAL"
+
+    def decide(
+        self,
+        view: CongestionView,
+        topology: Dragonfly,
+        rng: random.Random,
+        src_router: int,
+        dst_terminal: int,
+    ) -> RoutePlan:
+        return valiant_plan(topology, rng, src_router, dst_terminal)

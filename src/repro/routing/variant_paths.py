@@ -1,0 +1,181 @@
+"""Route plans and execution for Figure 6 group-variant dragonflies.
+
+The dragonfly's routing (Section 4.1) generalises directly when the
+intra-group network is an n-dimensional flattened butterfly instead of a
+complete graph: "route within the group" becomes a dimension-order walk
+of up to ``n`` local hops.  The VC assignment of Figure 7 carries over
+with one refinement -- all DOR hops of one local segment share that
+segment's VC, which stays deadlock-free because intra-group DOR is
+acyclic on its own.
+
+Plans reuse the canonical :class:`~repro.network.packet.RoutePlan`
+(``gc1``/``gc2`` global links), so the UGAL decision structure and the
+statistics pipeline apply unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..core.params import TopologyError
+from ..network.packet import RoutePlan
+from ..topology.dragonfly import GlobalLink
+from ..topology.group_variants import FlattenedButterflyGroupDragonfly
+from . import vc_assignment as vcs
+
+Variant = FlattenedButterflyGroupDragonfly
+
+
+def _pick_best_link(
+    topology: Variant,
+    links: List[GlobalLink],
+    rng: random.Random,
+    src_router: int,
+    dst_router: Optional[int] = None,
+) -> GlobalLink:
+    """Pick the link minimising intra-group DOR hops, random tie-break."""
+    if not links:
+        raise TopologyError("no global link between the requested groups")
+
+    def score(link: GlobalLink) -> int:
+        extra = topology.intra_group_hops(src_router, link.src_router)
+        if dst_router is not None:
+            extra += topology.intra_group_hops(link.dst_router, dst_router)
+        return extra
+
+    best = min(score(link) for link in links)
+    candidates = [link for link in links if score(link) == best]
+    return candidates[rng.randrange(len(candidates))]
+
+
+def variant_minimal_plan(
+    topology: Variant,
+    rng: random.Random,
+    src_router: int,
+    dst_terminal: int,
+) -> RoutePlan:
+    dst_router = topology.terminal_router(dst_terminal)
+    src_group = topology.group_of(src_router)
+    dst_group = topology.group_of(dst_router)
+    if src_group == dst_group:
+        return RoutePlan(minimal=True)
+    links = topology.group_links(src_group, dst_group)
+    return RoutePlan(
+        minimal=True,
+        gc1=_pick_best_link(topology, links, rng, src_router, dst_router),
+    )
+
+
+def variant_valiant_plan(
+    topology: Variant,
+    rng: random.Random,
+    src_router: int,
+    dst_terminal: int,
+    intermediate_group: Optional[int] = None,
+) -> RoutePlan:
+    dst_router = topology.terminal_router(dst_terminal)
+    src_group = topology.group_of(src_router)
+    dst_group = topology.group_of(dst_router)
+    if topology.g < 2 or src_group == dst_group:
+        return variant_minimal_plan(topology, rng, src_router, dst_terminal)
+    if intermediate_group is None:
+        intermediate_group = rng.randrange(topology.g - 1)
+        if intermediate_group >= src_group:
+            intermediate_group += 1
+    if intermediate_group == src_group:
+        raise ValueError("intermediate group must differ from the source group")
+    if intermediate_group == dst_group:
+        return variant_minimal_plan(topology, rng, src_router, dst_terminal)
+    gc1 = _pick_best_link(
+        topology,
+        topology.group_links(src_group, intermediate_group),
+        rng,
+        src_router,
+    )
+    gc2 = _pick_best_link(
+        topology,
+        topology.group_links(intermediate_group, dst_group),
+        rng,
+        gc1.dst_router,
+        dst_router,
+    )
+    return RoutePlan(minimal=False, gc1=gc1, gc2=gc2)
+
+
+def variant_plan_hops(
+    topology: Variant,
+    src_router: int,
+    dst_terminal: int,
+    plan: RoutePlan,
+) -> int:
+    """Channel traversals including the multi-hop local segments."""
+    dst_router = topology.terminal_router(dst_terminal)
+    hops = 0
+    position = src_router
+    for link in (plan.gc1, plan.gc2):
+        if link is None:
+            continue
+        hops += topology.intra_group_hops(position, link.src_router)
+        hops += 1  # the global channel
+        position = link.dst_router
+    hops += topology.intra_group_hops(position, dst_router)
+    return hops
+
+
+def _dor_port(topology: Variant, router: int, target_router: int) -> int:
+    """First dimension-order hop within a group toward ``target_router``."""
+    src_coords = topology.coords_of(router)
+    dst_coords = topology.coords_of(target_router)
+    for dim, (src_coord, dst_coord) in enumerate(zip(src_coords, dst_coords)):
+        if src_coord != dst_coord:
+            return topology.dim_port(router, dim, dst_coord)
+    raise TopologyError("no local hop needed between identical routers")
+
+
+def variant_next_hop(
+    topology: Variant,
+    router: int,
+    plan: RoutePlan,
+    progress: int,
+    dst_terminal: int,
+) -> Tuple[int, int, int]:
+    """(out_port, out_vc, next_progress); progress = global hops taken."""
+    minimal = plan.minimal
+    if plan.gc1 is not None and progress == 0:
+        link = plan.gc1
+        if router == link.src_router:
+            return link.src_port, vcs.global_vc(minimal, 0), progress + 1
+        return _dor_port(topology, router, link.src_router), vcs.local_vc(minimal, 0), progress
+    if plan.gc2 is not None and progress == 1:
+        link = plan.gc2
+        if router == link.src_router:
+            return link.src_port, vcs.global_vc(minimal, 1), progress + 1
+        return _dor_port(topology, router, link.src_router), vcs.local_vc(minimal, 1), progress
+    dst_router = topology.terminal_router(dst_terminal)
+    if router == dst_router:
+        return topology.terminal_port(dst_terminal), 0, progress
+    return _dor_port(topology, router, dst_router), vcs.FINAL_LOCAL_VC, progress
+
+
+def variant_walk_route(
+    topology: Variant,
+    src_router: int,
+    dst_terminal: int,
+    plan: RoutePlan,
+):
+    """Full (router, port, vc) trace of a plan."""
+    trace = []
+    router = src_router
+    progress = 0
+    bound = 3 * len(topology.group_dims) + 2 + 2
+    for _ in range(bound * 2):
+        port, vc, progress = variant_next_hop(
+            topology, router, plan, progress, dst_terminal
+        )
+        trace.append((router, port, vc))
+        channel = topology.fabric.out_channel(router, port)
+        if channel is None:
+            return trace
+        router = channel.dst.router
+    raise TopologyError("group-variant route failed to terminate")

@@ -1,0 +1,78 @@
+"""Routing algorithms for Figure 6 group-variant dragonflies."""
+
+from __future__ import annotations
+
+import random
+
+from ..network.packet import RoutePlan
+from ..topology.group_variants import FlattenedButterflyGroupDragonfly
+from .base import CongestionView, RoutingAlgorithm
+from .variant_paths import (
+    variant_minimal_plan,
+    variant_next_hop,
+    variant_plan_hops,
+    variant_valiant_plan,
+)
+
+
+class _VariantRouting(RoutingAlgorithm):
+    def next_hop(self, topology, router, plan, progress, dst_terminal):
+        return variant_next_hop(topology, router, plan, progress, dst_terminal)
+
+
+class VariantMinimalRouting(_VariantRouting):
+    name = "VAR-MIN"
+
+    def decide(self, view, topology, rng, src_router, dst_terminal):
+        return variant_minimal_plan(topology, rng, src_router, dst_terminal)
+
+
+class VariantValiantRouting(_VariantRouting):
+    name = "VAR-VAL"
+
+    def decide(self, view, topology, rng, src_router, dst_terminal):
+        return variant_valiant_plan(topology, rng, src_router, dst_terminal)
+
+
+class VariantUgalL(_VariantRouting):
+    """UGAL-L on a group-variant dragonfly (local queue information)."""
+
+    name = "VAR-UGAL-L"
+
+    def decide(
+        self,
+        view: CongestionView,
+        topology: FlattenedButterflyGroupDragonfly,
+        rng: random.Random,
+        src_router: int,
+        dst_terminal: int,
+    ) -> RoutePlan:
+        dst_router = topology.terminal_router(dst_terminal)
+        if topology.group_of(src_router) == topology.group_of(dst_router):
+            return variant_minimal_plan(topology, rng, src_router, dst_terminal)
+        min_plan = variant_minimal_plan(topology, rng, src_router, dst_terminal)
+        nm_plan = variant_valiant_plan(topology, rng, src_router, dst_terminal)
+        if nm_plan.minimal:
+            return min_plan
+        hops_min = variant_plan_hops(topology, src_router, dst_terminal, min_plan)
+        hops_nm = variant_plan_hops(topology, src_router, dst_terminal, nm_plan)
+        port_min, _, _ = variant_next_hop(topology, src_router, min_plan, 0, dst_terminal)
+        port_nm, _, _ = variant_next_hop(topology, src_router, nm_plan, 0, dst_terminal)
+        q_min = view.output_occupancy(src_router, port_min)
+        q_nm = view.output_occupancy(src_router, port_nm)
+        if q_min * hops_min <= q_nm * hops_nm:
+            return min_plan
+        return nm_plan
+
+
+def make_variant_routing(name: str) -> RoutingAlgorithm:
+    algorithms = {
+        "VAR-MIN": VariantMinimalRouting,
+        "VAR-VAL": VariantValiantRouting,
+        "VAR-UGAL-L": VariantUgalL,
+    }
+    if name not in algorithms:
+        raise ValueError(
+            f"unknown variant routing {name!r}; choose from {sorted(algorithms)}"
+        )
+    return algorithms[name]()

@@ -1,0 +1,97 @@
+"""Deadlock-free virtual-channel assignment (Figure 7).
+
+Routing deadlock is avoided by indexing VCs along the route so the VC
+number never decreases and strictly increases every time a packet
+re-enters the class of channels it used before.  Two VCs suffice for
+minimal routing and three for non-minimal routing.
+
+The assignment is chosen so that the *first local hop* of a minimal route
+(VC1) differs from the first local hop of a non-minimal route (VC0) --
+exactly the property UGAL-L_VC exploits: at the source router the
+occupancy of VC1 on a shared output port reflects minimal traffic and the
+occupancy of VC0 reflects non-minimal traffic
+(``q_m^vc = q(VC1)``, ``q_nm^vc = q(VC0)``, Section 4.3.1).
+
+Stages and VCs::
+
+    minimal      local(Gs)=1   global=1                local(Gd)=2
+    non-minimal  local(Gs)=0   global=0   local(Gi)=1   global=1   local(Gd)=2
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import networkx as nx
+
+#: Number of VCs required for deadlock freedom with non-minimal routing.
+NUM_VCS_REQUIRED = 3
+#: VC of the first local hop (and the global hop) of a minimal route.
+MINIMAL_FIRST_VC = 1
+#: VC of the first local hop (and first global hop) of a Valiant route.
+NONMINIMAL_FIRST_VC = 0
+#: VC of local hops inside the destination group.
+FINAL_LOCAL_VC = 2
+#: VC of hops inside the intermediate group (and the second global hop).
+INTERMEDIATE_VC = 1
+
+
+def local_vc(minimal: bool, global_hops_taken: int) -> int:
+    """VC for a local-channel hop at the given route progress."""
+    if minimal:
+        return MINIMAL_FIRST_VC if global_hops_taken == 0 else FINAL_LOCAL_VC
+    if global_hops_taken == 0:
+        return NONMINIMAL_FIRST_VC
+    if global_hops_taken == 1:
+        return INTERMEDIATE_VC
+    return FINAL_LOCAL_VC
+
+
+def global_vc(minimal: bool, global_hops_taken: int) -> int:
+    """VC for a global-channel hop at the given route progress."""
+    if minimal:
+        return MINIMAL_FIRST_VC
+    return NONMINIMAL_FIRST_VC if global_hops_taken == 0 else INTERMEDIATE_VC
+
+
+def vc_sequences() -> List[List[Tuple[str, int]]]:
+    """All (channel-class, VC) sequences routes can produce.
+
+    Used by the deadlock property test: every realisable route is a
+    subsequence of one of these full-length sequences (hops are skipped
+    when the packet is already at the right router).
+    """
+    minimal = [("local", 1), ("global", 1), ("local", 2)]
+    nonminimal = [
+        ("local", 0),
+        ("global", 0),
+        ("local", 1),
+        ("global", 1),
+        ("local", 2),
+    ]
+    return [minimal, nonminimal]
+
+
+def channel_dependency_graph() -> nx.DiGraph:
+    """Abstract channel-class dependency graph of the VC assignment.
+
+    Nodes are (channel-class, VC) pairs; an edge A -> B means some route
+    holds a buffer of class A while requesting one of class B.  Deadlock
+    freedom of the assignment (over *any* dragonfly, since local and
+    global channels of the same class are interchangeable at this
+    abstraction) is equivalent to this graph being acyclic -- asserted by
+    ``tests/routing/test_vc_assignment.py``.
+    """
+    graph = nx.DiGraph()
+    for sequence in vc_sequences():
+        # Any contiguous *subsequence* is realisable (hops may be skipped),
+        # so add edges between every ordered pair, not just adjacent hops.
+        for i in range(len(sequence)):
+            for j in range(i + 1, len(sequence)):
+                graph.add_edge(sequence[i], sequence[j])
+    return graph
+
+
+def is_deadlock_free() -> bool:
+    """True when the channel-class dependency graph is acyclic."""
+    return nx.is_directed_acyclic_graph(channel_dependency_graph())

@@ -1,0 +1,27 @@
+"""Topology builders: dragonfly and the paper's comparison baselines."""
+
+from .base import Channel, ChannelKind, Fabric, PortRef, Terminal
+from .dragonfly import Dragonfly, GlobalLink, make_dragonfly
+from .flattened_butterfly import FlattenedButterfly
+from .folded_clos import FoldedClos, levels_required
+from .group_variants import FlattenedButterflyGroupDragonfly
+from .slicing import ChannelSlicedDragonfly, tapered_dragonfly
+from .torus import Torus
+
+__all__ = [
+    "Channel",
+    "ChannelKind",
+    "Fabric",
+    "PortRef",
+    "Terminal",
+    "Dragonfly",
+    "GlobalLink",
+    "make_dragonfly",
+    "FlattenedButterfly",
+    "FoldedClos",
+    "levels_required",
+    "FlattenedButterflyGroupDragonfly",
+    "ChannelSlicedDragonfly",
+    "tapered_dragonfly",
+    "Torus",
+]

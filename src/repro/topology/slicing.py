@@ -1,0 +1,83 @@
+"""Channel slicing: parallel dragonfly networks (Section 3.2).
+
+To increase terminal bandwidth without lowering the router radix, the
+paper suggests connecting multiple identical networks ("slices") in
+parallel rather than widening channels.  Each terminal then has one
+injection port per slice; packets are spread over the slices.
+
+This module models a sliced dragonfly as a collection of independent
+:class:`~repro.topology.dragonfly.Dragonfly` instances plus a slice
+selection policy.  The cost model prices a sliced network as the sum of
+its slices; the simulator can simulate one slice under its share of the
+load (the slices do not interact).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List
+
+from ..core.params import DragonflyParams
+from .dragonfly import Dragonfly
+
+
+class ChannelSlicedDragonfly:
+    """``num_slices`` identical dragonflies operated in parallel."""
+
+    def __init__(
+        self,
+        params: DragonflyParams,
+        num_slices: int,
+        **latencies: int,
+    ) -> None:
+        if num_slices < 1:
+            raise ValueError("num_slices must be >= 1")
+        self.params = params
+        self.num_slices = num_slices
+        self.slices: List[Dragonfly] = [
+            Dragonfly(params, **latencies) for _ in range(num_slices)
+        ]
+        self._round_robin = itertools.cycle(range(num_slices))
+
+    @property
+    def num_terminals(self) -> int:
+        """Terminals of the sliced system (one NIC, ``num_slices`` ports)."""
+        return self.params.num_terminals
+
+    @property
+    def terminal_bandwidth_multiplier(self) -> int:
+        """Injection bandwidth per terminal relative to a single slice."""
+        return self.num_slices
+
+    def slice_for_packet(self, packet_index: int) -> int:
+        """Deterministic round-robin slice assignment by packet index."""
+        return packet_index % self.num_slices
+
+    def next_slice(self) -> int:
+        """Stateful round-robin slice selection."""
+        return next(self._round_robin)
+
+    def total_cables(self) -> int:
+        return sum(df.fabric.num_cables() for df in self.slices)
+
+    def describe(self) -> str:
+        return f"{self.num_slices} x [{self.slices[0].describe()}]"
+
+
+def tapered_dragonfly(
+    params: DragonflyParams,
+    max_channels_per_pair: int,
+    **latencies: int,
+) -> Dragonfly:
+    """Build a bandwidth-tapered dragonfly (Section 3.2).
+
+    Wires at most ``max_channels_per_pair`` global channels between any
+    two groups, leaving the remaining global ports unused.  Only
+    meaningful for non-maximal dragonflies (a maximum-size network already
+    has exactly one channel per pair).
+    """
+    return Dragonfly(
+        params,
+        max_channels_per_pair=max_channels_per_pair,
+        **latencies,
+    )

@@ -1,0 +1,5 @@
+"""Terminal visualisation helpers (no plotting dependencies)."""
+
+from .ascii import bar_chart, histogram_chart, line_chart, sweep_chart
+
+__all__ = ["bar_chart", "histogram_chart", "line_chart", "sweep_chart"]

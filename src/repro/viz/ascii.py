@@ -1,0 +1,163 @@
+"""Terminal (ASCII) charts for simulation and cost results.
+
+The paper's figures are latency-vs-load curves, bar-style channel
+utilisation plots and histograms; this module renders all three as plain
+text so examples and the benchmark harness can show *shapes*, not just
+tables, without any plotting dependency.
+
+All functions return a string (no printing) so they are trivially
+testable and composable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+#: Marker characters assigned to series in order.
+_MARKERS = "ox+*#@%&"
+
+
+def _finite(values: Sequence[float]) -> List[float]:
+    return [value for value in values if not math.isinf(value) and not math.isnan(value)]
+
+
+def line_chart(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    y_max: Optional[float] = None,
+) -> str:
+    """Scatter/line chart of multiple (x, y) series.
+
+    Infinite y values (saturated points) are drawn as ``^`` pinned to the
+    top of the chart.  Series are labelled in a legend with markers
+    assigned in iteration order.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 10 or height < 4:
+        raise ValueError("chart too small")
+    all_x = [x for points in series.values() for x, _ in points]
+    all_y = _finite([y for points in series.values() for _, y in points])
+    if not all_x:
+        raise ValueError("series contain no points")
+    x_min, x_max = min(all_x), max(all_x)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max is None:
+        y_max = max(all_y) if all_y else 1.0
+    y_min = 0.0
+    if y_max <= y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col_of(x: float) -> int:
+        return min(width - 1, int((x - x_min) / (x_max - x_min) * (width - 1)))
+
+    def row_of(y: float) -> int:
+        fraction = (y - y_min) / (y_max - y_min)
+        fraction = min(1.0, max(0.0, fraction))
+        return (height - 1) - int(fraction * (height - 1))
+
+    legend = []
+    for index, (name, points) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} {name}")
+        for x, y in points:
+            if math.isinf(y) or math.isnan(y) or y > y_max:
+                grid[0][col_of(x)] = "^"
+            else:
+                grid[row_of(y)][col_of(x)] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:g}"
+    for row_index, row in enumerate(grid):
+        prefix = top_label.rjust(8) if row_index == 0 else " " * 8
+        if row_index == height - 1:
+            prefix = f"{y_min:g}".rjust(8)
+        lines.append(prefix + " |" + "".join(row))
+    axis = " " * 8 + " +" + "-" * width
+    lines.append(axis)
+    x_axis = " " * 10 + f"{x_min:g}".ljust(width - 8) + f"{x_max:g}"
+    lines.append(x_axis)
+    footer = []
+    if x_label:
+        footer.append(f"x: {x_label}")
+    if y_label:
+        footer.append(f"y: {y_label}")
+    footer.append("legend: " + "  ".join(legend))
+    if any(cell == "^" for row in grid for cell in row):
+        footer.append("^ = saturated / off-scale")
+    lines.append(" " * 8 + "  " + "; ".join(footer))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart (e.g. per-channel utilisation, $/node)."""
+    if not values:
+        raise ValueError("need at least one bar")
+    maximum = max(values.values())
+    if maximum <= 0:
+        maximum = 1.0
+    label_width = max(len(name) for name in values)
+    lines = [title] if title else []
+    for name, value in values.items():
+        bar = "#" * max(0, int(round(value / maximum * width)))
+        lines.append(
+            f"{name.rjust(label_width)} |{bar} {value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def histogram_chart(
+    bins: Sequence[Tuple[int, float]],
+    width: int = 50,
+    title: str = "",
+    bin_label: str = "latency",
+) -> str:
+    """Vertical-bin histogram rendered as horizontal bars.
+
+    ``bins`` is (bin_start, fraction) as produced by
+    :meth:`repro.network.stats.SimulationResult.latency_histogram`.
+    """
+    if not bins:
+        raise ValueError("need at least one bin")
+    maximum = max(fraction for _, fraction in bins)
+    if maximum <= 0:
+        maximum = 1.0
+    lines = [title] if title else []
+    for bin_start, fraction in bins:
+        bar = "#" * max(0, int(round(fraction / maximum * width)))
+        lines.append(f"{bin_label} {bin_start:>6} |{bar} {fraction:.3f}")
+    return "\n".join(lines)
+
+
+def sweep_chart(
+    sweeps: Mapping[str, Sequence],
+    title: str = "latency vs offered load",
+    y_max: Optional[float] = None,
+) -> str:
+    """Chart a dict of routing-name -> list of SweepPoint."""
+    series = {
+        name: [(point.load, point.latency) for point in points]
+        for name, points in sweeps.items()
+    }
+    return line_chart(
+        series,
+        title=title,
+        x_label="offered load (flits/node/cycle)",
+        y_label="avg latency (cycles)",
+        y_max=y_max,
+    )

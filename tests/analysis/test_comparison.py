@@ -1,0 +1,65 @@
+"""Tests for the Figure 18 structural comparison."""
+
+import pytest
+
+from repro.analysis.comparison import (
+    dragonfly_structure,
+    figure18_comparison,
+    flattened_butterfly_structure,
+)
+
+
+class TestFlattenedButterfly64K:
+    def test_structure(self):
+        fb = flattened_butterfly_structure()
+        assert fb.num_terminals == 65536
+        assert fb.num_routers == 4096
+        assert fb.router_radix == 61
+        assert fb.global_ports_per_router == 30
+
+    def test_half_the_ports_are_global(self):
+        fb = flattened_butterfly_structure()
+        assert fb.global_port_fraction == pytest.approx(0.49, abs=0.02)
+
+    def test_global_cable_count(self):
+        fb = flattened_butterfly_structure()
+        assert fb.num_global_cables == 2 * 4096 * 15 // 2
+
+
+class TestDragonfly64K:
+    def test_structure(self):
+        df = dragonfly_structure()
+        assert df.num_terminals == 65536
+        assert df.num_routers == 4096
+        assert df.global_ports_per_router == 16
+
+    def test_global_cable_count(self):
+        df = dragonfly_structure()
+        assert df.num_global_cables == 256 * 256 // 2
+
+    def test_quarterish_ports_global(self):
+        """The paper quotes 25% (against a 64-port budget); against the
+        wired radix of 47 the fraction is 34%."""
+        df = dragonfly_structure()
+        assert df.global_ports_per_router / 64 == pytest.approx(0.25)
+        assert df.global_port_fraction == pytest.approx(16 / 47)
+
+
+class TestHeadlineComparison:
+    def test_dragonfly_half_the_global_cables(self):
+        fb, df = figure18_comparison()
+        ratio = df.num_global_cables / fb.num_global_cables
+        assert ratio == pytest.approx(0.5, abs=0.1)
+
+    def test_dragonfly_lower_global_port_fraction(self):
+        fb, df = figure18_comparison()
+        assert df.global_port_fraction < fb.global_port_fraction
+
+    def test_same_terminal_count(self):
+        fb, df = figure18_comparison()
+        assert fb.num_terminals == df.num_terminals
+
+    def test_summaries_render(self):
+        for summary in figure18_comparison():
+            text = summary.summary()
+            assert "global cables" in text

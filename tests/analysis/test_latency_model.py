@@ -1,0 +1,101 @@
+"""Tests for the zero-load latency model, cross-validated against the
+simulator."""
+
+import pytest
+
+from repro.analysis.latency_model import LatencyModel
+from repro.core.params import DragonflyParams
+from repro.network.config import SimulationConfig
+from repro.network.sweep import run_point
+from repro.routing.ugal import make_routing
+from repro.topology.dragonfly import Dragonfly
+
+
+@pytest.fixture(scope="module")
+def model():
+    return LatencyModel(DragonflyParams.paper_example_72())
+
+
+class TestProbabilities:
+    def test_sum_to_one(self, model):
+        total = (
+            model.probability_same_router()
+            + model.probability_same_group()
+            + model.probability_cross_group()
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_same_router_value(self, model):
+        # p=2: one other terminal of 71 shares the router.
+        assert model.probability_same_router() == pytest.approx(1 / 71)
+
+    def test_same_group_value(self, model):
+        # 8 per group, 2 on the source router -> 6 of 71.
+        assert model.probability_same_group() == pytest.approx(6 / 71)
+
+
+class TestExpectations:
+    def test_minimal_global_hops_below_one(self, model):
+        assert 0.85 < model.expected_minimal_global_hops() < 1.0
+
+    def test_minimal_local_hops_below_two(self, model):
+        assert 1.0 < model.expected_minimal_local_hops() < 2.0
+
+    def test_worst_case_route(self, model):
+        # 2 local + 1 global + ejection at unit latencies.
+        assert model.worst_case_minimal_latency() == 4.0
+
+    def test_serialisation_adds_flits(self):
+        model = LatencyModel(DragonflyParams.paper_example_72(), packet_size=4)
+        base = LatencyModel(DragonflyParams.paper_example_72())
+        assert (
+            model.expected_minimal_latency()
+            == base.expected_minimal_latency() + 3
+        )
+
+    def test_global_latency_scales(self):
+        slow = LatencyModel(DragonflyParams.paper_example_72(), global_latency=10)
+        fast = LatencyModel(DragonflyParams.paper_example_72())
+        delta = slow.expected_minimal_latency() - fast.expected_minimal_latency()
+        assert delta == pytest.approx(9 * slow.expected_minimal_global_hops())
+
+
+class TestAgainstSimulator:
+    def test_min_zero_load_latency_matches(self, model):
+        topology = Dragonfly(DragonflyParams.paper_example_72())
+        config = SimulationConfig(
+            load=0.01, warmup_cycles=500, measure_cycles=2000,
+            drain_max_cycles=5000,
+        )
+        result = run_point(topology, make_routing("MIN"), "uniform_random", config)
+        assert result.avg_latency == pytest.approx(
+            model.expected_minimal_latency(), rel=0.1
+        )
+
+    def test_val_extra_latency_direction(self, model):
+        topology = Dragonfly(DragonflyParams.paper_example_72())
+        config = SimulationConfig(
+            load=0.01, warmup_cycles=500, measure_cycles=2000,
+            drain_max_cycles=5000,
+        )
+        minimal = run_point(topology, make_routing("MIN"), "uniform_random", config)
+        valiant = run_point(topology, make_routing("VAL"), "uniform_random", config)
+        measured_extra = valiant.avg_latency - minimal.avg_latency
+        assert measured_extra == pytest.approx(
+            model.valiant_extra_latency(), abs=0.7
+        )
+
+    def test_longer_global_channels_shift_latency(self):
+        """With 5-cycle global channels the zero-load shift matches."""
+        topology = Dragonfly(
+            DragonflyParams.paper_example_72(), global_latency=5
+        )
+        model = LatencyModel(DragonflyParams.paper_example_72(), global_latency=5)
+        config = SimulationConfig(
+            load=0.01, warmup_cycles=500, measure_cycles=2000,
+            drain_max_cycles=6000,
+        )
+        result = run_point(topology, make_routing("MIN"), "uniform_random", config)
+        assert result.avg_latency == pytest.approx(
+            model.expected_minimal_latency(), rel=0.1
+        )

@@ -1,0 +1,64 @@
+"""Tests for path diversity and fault tolerance analytics."""
+
+import pytest
+
+from repro.analysis.path_diversity import (
+    group_fault_tolerance,
+    group_graph,
+    minimal_route_count,
+    survives_faults,
+    valiant_route_count,
+)
+from repro.core.params import DragonflyParams
+from repro.topology.dragonfly import Dragonfly
+
+
+class TestRouteCounts:
+    def test_minimal_is_one_for_max_size(self, paper72_dragonfly):
+        assert minimal_route_count(paper72_dragonfly, 0, 71) == 1
+
+    def test_minimal_scales_with_parallel_channels(self):
+        df = Dragonfly(DragonflyParams(p=2, a=4, h=2, num_groups=3))
+        assert minimal_route_count(df, 0, df.num_terminals - 1) == 4
+
+    def test_intra_group_counts(self, paper72_dragonfly):
+        assert minimal_route_count(paper72_dragonfly, 0, 7) == 1
+        assert valiant_route_count(paper72_dragonfly, 0, 7) == 0
+
+    def test_valiant_count_max_size(self, paper72_dragonfly):
+        # g - 2 intermediate groups, one channel each way.
+        assert valiant_route_count(paper72_dragonfly, 0, 71) == 7
+
+
+class TestFaultTolerance:
+    def test_group_graph_edge_count(self, paper72_dragonfly):
+        graph = group_graph(paper72_dragonfly)
+        assert graph.number_of_edges() == 36
+
+    def test_single_fault_survivable(self, paper72_dragonfly):
+        link = paper72_dragonfly.group_links(0, 1)[0]
+        assert survives_faults(paper72_dragonfly, [link])
+
+    def test_fault_removes_edge(self, paper72_dragonfly):
+        link = paper72_dragonfly.group_links(0, 1)[0]
+        graph = group_graph(paper72_dragonfly, [link])
+        assert graph.number_of_edges() == 35
+        assert graph.number_of_edges(0, 1) == 0
+
+    def test_isolating_a_group_disconnects(self, paper72_dragonfly):
+        df = paper72_dragonfly
+        links = [df.group_links(0, g)[0] for g in range(1, df.g)]
+        assert not survives_faults(df, links)
+
+    def test_tolerance_is_g_minus_2_for_max_size(self, paper72_dragonfly):
+        # Complete group graph on 9 groups: edge connectivity 8.
+        assert group_fault_tolerance(paper72_dragonfly) == 7
+
+    def test_tolerance_grows_with_parallel_channels(self):
+        df = Dragonfly(DragonflyParams(p=2, a=4, h=2, num_groups=3))
+        # Each pair has 4 channels; disconnecting a group needs 8 cuts.
+        assert group_fault_tolerance(df) == 7
+
+    def test_single_group_zero(self):
+        df = Dragonfly(DragonflyParams(p=2, a=4, h=2, num_groups=1))
+        assert group_fault_tolerance(df) == 0

@@ -1,0 +1,30 @@
+"""Shared fixtures: small dragonflies and fast simulation configs."""
+
+import pytest
+
+from repro.core.params import DragonflyParams
+from repro.network.config import SimulationConfig
+from repro.topology.dragonfly import Dragonfly
+
+
+@pytest.fixture(scope="session")
+def tiny_dragonfly() -> Dragonfly:
+    """The smallest interesting dragonfly: p=1, a=2, h=1 -> N=6, g=3."""
+    return Dragonfly(DragonflyParams(p=1, a=2, h=1))
+
+
+@pytest.fixture(scope="session")
+def paper72_dragonfly() -> Dragonfly:
+    """The Figure 5 example: p=h=2, a=4 -> N=72, g=9."""
+    return Dragonfly(DragonflyParams.paper_example_72())
+
+
+@pytest.fixture()
+def fast_config() -> SimulationConfig:
+    """Short warm-up/measurement windows for unit-level simulations."""
+    return SimulationConfig(
+        load=0.1,
+        warmup_cycles=200,
+        measure_cycles=200,
+        drain_max_cycles=4000,
+    )

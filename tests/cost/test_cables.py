@@ -1,0 +1,104 @@
+"""Tests for the cable technology and cost models (Table 1, Figure 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost.cables import (
+    DEFAULT_CROSSOVER_M,
+    ELECTRICAL_CABLE,
+    INTEL_CONNECTS,
+    LUXTERA_BLAZAR,
+    TABLE_1,
+    cable_cost,
+    cable_cost_per_gbps,
+    crossover_length_m,
+    electrical_cost_per_gbps,
+    is_optical,
+    optical_cost_per_gbps,
+)
+
+
+class TestTable1:
+    """The exact characteristics of Table 1."""
+
+    def test_intel_connects(self):
+        assert INTEL_CONNECTS.max_length_m == 100
+        assert INTEL_CONNECTS.data_rate_gbps == 20
+        assert INTEL_CONNECTS.power_w == 1.2
+        assert INTEL_CONNECTS.energy_per_bit_pj == 60
+
+    def test_luxtera(self):
+        assert LUXTERA_BLAZAR.max_length_m == 300
+        assert LUXTERA_BLAZAR.data_rate_gbps == 42
+        assert LUXTERA_BLAZAR.energy_per_bit_pj == 55
+
+    def test_electrical(self):
+        assert ELECTRICAL_CABLE.max_length_m == 10
+        assert ELECTRICAL_CABLE.energy_per_bit_pj == 2
+
+    def test_three_rows(self):
+        assert len(TABLE_1) == 3
+
+
+class TestCostLines:
+    """The fitted Figure 2 lines."""
+
+    def test_electrical_line(self):
+        assert electrical_cost_per_gbps(0) == pytest.approx(2.16)
+        assert electrical_cost_per_gbps(10) == pytest.approx(16.16)
+
+    def test_optical_line(self):
+        assert optical_cost_per_gbps(0) == pytest.approx(9.7103)
+        assert optical_cost_per_gbps(100) == pytest.approx(46.1103)
+
+    def test_optical_higher_fixed_lower_slope(self):
+        assert optical_cost_per_gbps(0) > electrical_cost_per_gbps(0)
+        optical_slope = optical_cost_per_gbps(1) - optical_cost_per_gbps(0)
+        electrical_slope = electrical_cost_per_gbps(1) - electrical_cost_per_gbps(0)
+        assert optical_slope < electrical_slope
+
+    def test_crossover_near_10m(self):
+        """The paper quotes ~10 m; the fitted lines cross at ~7.3 m."""
+        assert 6.0 < crossover_length_m() < 10.0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            electrical_cost_per_gbps(-1)
+        with pytest.raises(ValueError):
+            optical_cost_per_gbps(-1)
+
+
+class TestTechnologyChoice:
+    def test_short_cables_electrical(self):
+        assert cable_cost_per_gbps(2) == electrical_cost_per_gbps(2)
+        assert not is_optical(2)
+
+    def test_long_cables_optical(self):
+        assert cable_cost_per_gbps(20) == optical_cost_per_gbps(20)
+        assert is_optical(20)
+
+    def test_default_crossover_is_8m(self):
+        assert DEFAULT_CROSSOVER_M == 8.0
+        assert not is_optical(7.99)
+        assert is_optical(8.0)
+
+    def test_cable_cost_scales_with_bandwidth(self):
+        assert cable_cost(5, 20) == pytest.approx(2 * cable_cost(5, 10))
+
+    def test_cable_cost_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            cable_cost(5, 0)
+
+    @given(st.floats(min_value=0, max_value=300))
+    @settings(max_examples=50)
+    def test_chosen_cost_never_far_above_both_lines(self, length):
+        """The chooser tracks the cheaper line except inside the small
+        window between the true crossover (~7.3 m) and the paper's 8 m
+        threshold."""
+        chosen = cable_cost_per_gbps(length)
+        cheaper = min(
+            electrical_cost_per_gbps(length), optical_cost_per_gbps(length)
+        )
+        assert chosen >= cheaper - 1e-9
+        assert chosen <= cheaper + 1.0

@@ -1,0 +1,91 @@
+"""Tests for the power model (extension)."""
+
+import pytest
+
+from repro.cost.model import CostConfig, DragonflyCost, TorusCost
+from repro.cost.power import (
+    PowerBreakdown,
+    PowerConfig,
+    power_breakdown,
+    power_comparison,
+)
+
+
+@pytest.fixture(scope="module")
+def cost_config():
+    return CostConfig()
+
+
+class TestPowerConfig:
+    def test_defaults_from_table1(self):
+        config = PowerConfig()
+        assert config.optical_pj_per_bit == 60
+        assert config.electrical_pj_per_bit == 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PowerConfig(router_pj_per_bit=-1)
+
+
+class TestPowerBreakdown:
+    def test_totals_consistent(self, cost_config):
+        breakdown = power_breakdown(DragonflyCost(16384, cost_config))
+        assert breakdown.total_watts == pytest.approx(
+            breakdown.router_watts + breakdown.cable_watts
+        )
+        assert breakdown.watts_per_node > 0
+
+    def test_optical_dominates_cables_at_scale(self, cost_config):
+        """60 pJ/bit optical vs 1-2 pJ/bit copper: long cables dominate
+        despite being a minority by count."""
+        breakdown = power_breakdown(DragonflyCost(65536, cost_config))
+        assert breakdown.optical_cable_watts > breakdown.electrical_cable_watts
+        assert breakdown.optical_cable_watts > breakdown.backplane_watts
+
+    def test_single_group_has_no_optical(self, cost_config):
+        breakdown = power_breakdown(DragonflyCost(512, cost_config))
+        assert breakdown.optical_cable_watts == 0
+
+    def test_unit_conversion(self):
+        """1 pJ/bit at 10 Gb/s is 10 mW per direction, 20 mW per link."""
+        from repro.cost.power import _pj_gbps_to_watts
+
+        assert _pj_gbps_to_watts(1.0, 10.0) == pytest.approx(0.020)
+
+    def test_summary_renders(self, cost_config):
+        text = power_breakdown(DragonflyCost(4096, cost_config)).summary()
+        assert "W/node" in text
+
+
+class TestPowerComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        sizes = [512, 16384, 65536]
+        return sizes, power_comparison(sizes)
+
+    def test_dragonfly_beats_clos_and_torus_at_scale(self, comparison):
+        sizes, results = comparison
+        dragonfly = results["dragonfly"][-1].watts_per_node
+        assert dragonfly < results["folded_clos"][-1].watts_per_node
+        assert dragonfly < results["torus_3d"][-1].watts_per_node
+
+    def test_torus_power_grows_fastest(self, comparison):
+        """Widening torus channels burns power superlinearly with N."""
+        sizes, results = comparison
+        torus_growth = (
+            results["torus_3d"][-1].watts_per_node
+            / results["torus_3d"][0].watts_per_node
+        )
+        dragonfly_growth = (
+            results["dragonfly"][-1].watts_per_node
+            / results["dragonfly"][0].watts_per_node
+        )
+        assert torus_growth > 2 * dragonfly_growth
+
+    def test_all_topologies_reported(self, comparison):
+        sizes, results = comparison
+        assert set(results) == {
+            "dragonfly", "flattened_butterfly", "folded_clos", "torus_3d",
+        }
+        for breakdowns in results.values():
+            assert len(breakdowns) == len(sizes)

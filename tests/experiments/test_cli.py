@@ -1,0 +1,33 @@
+"""Tests for the command-line entry point."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_no_args_lists_experiments(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "fig08" in out and "table2" in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "dragonfly" in out
+        assert "2*hl + 1*hg" in out
+
+    def test_run_multiple(self, capsys):
+        assert main(["fig01", "fig02"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out and "fig02" in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unknown_mixed_with_valid(self, capsys):
+        assert main(["table1", "fig99"]) == 2
+        captured = capsys.readouterr()
+        assert "Intel Connects" in captured.out
+        assert "fig99" in captured.err

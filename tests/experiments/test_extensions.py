@@ -1,0 +1,61 @@
+"""Tests for the extension experiments."""
+
+import pytest
+
+from repro.experiments import get_experiment
+
+
+class TestPowerExperiment:
+    def test_runs_and_shapes(self):
+        result = get_experiment("ext_power").run(quick=True)
+        last = result.rows[-1]
+        assert last["df_vs_clos"] > 0.2
+        assert last["df_vs_torus"] > 0.5
+
+    def test_power_positive_everywhere(self):
+        result = get_experiment("ext_power").run(quick=True)
+        for row in result.rows:
+            for key in (
+                "dragonfly_w", "flattened_butterfly_w",
+                "folded_clos_w", "torus_3d_w",
+            ):
+                assert row[key] > 0
+
+
+class TestTaperingExperiment:
+    def test_cable_count_scales_with_cap(self):
+        result = get_experiment("ext_tapering").run(quick=True)
+        caps = [row["channels_per_pair"] for row in result.rows]
+        cables = [row["global_cables"] for row in result.rows]
+        assert caps == sorted(caps, reverse=True)
+        assert cables == sorted(cables, reverse=True)
+
+    def test_relative_cost_proportional(self):
+        result = get_experiment("ext_tapering").run(quick=True)
+        for row in result.rows:
+            expected = row["global_cables"] / result.rows[0]["global_cables"]
+            assert row["relative_global_cost"] == pytest.approx(expected)
+
+    def test_bisection_shrinks_with_taper(self):
+        result = get_experiment("ext_tapering").run(quick=True)
+        bisections = [row["bisection_channels"] for row in result.rows]
+        assert bisections == sorted(bisections, reverse=True)
+
+
+class TestFbRoutingExperiment:
+    """Slower (simulation); one end-to-end check."""
+
+    def test_fb_routing_story(self):
+        result = get_experiment("ext_fb_routing").run(quick=True)
+        adversarial = [
+            row for row in result.rows if row["pattern"] == "fb_adversarial"
+        ]
+        # MIN saturates past 1/c = 0.25, UGAL-L survives with low latency.
+        import math
+
+        beyond = [row for row in adversarial if row["load"] >= 0.35]
+        assert beyond
+        for row in beyond:
+            assert math.isinf(row["FB-MIN"]) or row["FB-MIN"] > 100
+            assert not math.isinf(row["FB-UGAL-L"])
+            assert row["FB-UGAL-L"] < 30

@@ -1,0 +1,114 @@
+"""Tests for the experiment registry and the analytic experiments."""
+
+import pytest
+
+from repro.experiments import all_experiment_ids, get_experiment
+from repro.experiments.base import ExperimentResult
+
+
+EXPECTED_IDS = {
+    # every table/figure of the paper...
+    "fig01", "fig02", "fig04", "fig08", "fig09", "fig10", "fig11",
+    "fig12", "fig14", "fig16", "fig18", "fig19", "table1", "table2",
+    # ... plus extensions beyond it
+    "ext_power", "ext_fb_routing", "ext_tapering",
+    "ext_group_variants", "ext_cost_sensitivity",
+    "ext_four_topologies", "ext_saturation_table",
+}
+
+
+class TestRegistry:
+    def test_every_paper_figure_registered(self):
+        assert set(all_experiment_ids()) == EXPECTED_IDS
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+    def test_instances_carry_metadata(self):
+        for experiment_id in all_experiment_ids():
+            experiment = get_experiment(experiment_id)
+            assert experiment.id == experiment_id
+            assert experiment.title
+            assert experiment.paper_claim
+
+
+class TestAnalyticExperiments:
+    """The fast experiments run end-to-end and reproduce key numbers."""
+
+    def test_fig01_radix_growth(self):
+        result = get_experiment("fig01").run()
+        rows = {row["N"]: row["required_radix"] for row in result.rows}
+        assert rows[1_000_000] > 1000
+
+    def test_fig02_crossover(self):
+        result = get_experiment("fig02").run()
+        by_length = {row["length_m"]: row for row in result.rows}
+        assert by_length[2]["chosen"] == by_length[2]["electrical"]
+        assert by_length[20]["chosen"] == by_length[20]["optical"]
+
+    def test_fig04_reaches_256k(self):
+        result = get_experiment("fig04").run()
+        max_n = max(row["N"] for row in result.rows)
+        assert max_n > 256_000
+
+    def test_table1_rows(self):
+        result = get_experiment("table1").run()
+        assert len(result.rows) == 3
+
+    def test_table2_rows(self):
+        result = get_experiment("table2").run()
+        assert [row["topology"] for row in result.rows] == [
+            "flattened butterfly", "dragonfly",
+        ]
+
+    def test_fig18_half_cables(self):
+        result = get_experiment("fig18").run()
+        fb, df = result.rows
+        assert df["global_cables"] / fb["global_cables"] == pytest.approx(
+            0.5, abs=0.1
+        )
+
+    def test_fig19_claims(self):
+        result = get_experiment("fig19").run(quick=True)
+        last = result.rows[-1]
+        assert last["df_vs_fb"] > 0.15
+        assert last["df_vs_clos"] > 0.4
+        assert last["df_vs_torus"] > 0.4
+        first = result.rows[0]
+        assert abs(first["df_vs_fb"]) < 0.02  # identical at small sizes
+
+
+class TestFormatting:
+    def test_format_table_renders_all_columns(self):
+        result = get_experiment("table2").run()
+        text = result.format_table()
+        for column in result.columns:
+            assert column in text
+        assert result.paper_claim in text
+
+    def test_format_handles_empty_rows(self):
+        empty = ExperimentResult(
+            experiment_id="x", title="t", paper_claim="c", columns=["a", "b"]
+        )
+        assert "a" in empty.format_table()
+
+
+class TestSimulationExperimentSmoke:
+    """One cheap simulation experiment end-to-end (the rest are exercised
+    by the benchmark harness)."""
+
+    def test_fig09_shape(self):
+        result = get_experiment("fig09").run(quick=True)
+        rows = {row["routing"]: row for row in result.rows}
+        ugal_l, ugal_g = rows["UGAL-L"], rows["UGAL-G"]
+        # UGAL-L saturates the minimal channel and starves the
+        # same-router non-minimal channels relative to UGAL-G.
+        assert ugal_l["minimal_channel"] > ugal_g["minimal_channel"]
+        assert (
+            ugal_l["same_router_nonminimal"] < ugal_l["other_nonminimal"]
+        )
+        assert (
+            ugal_g["same_router_nonminimal"]
+            == pytest.approx(ugal_g["other_nonminimal"], abs=0.1)
+        )

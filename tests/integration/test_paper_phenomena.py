@@ -1,0 +1,148 @@
+"""Integration tests: the paper's headline phenomena, end to end.
+
+Each test runs the full stack (topology build -> routing -> cycle
+simulation -> statistics) on the 72-node dragonfly and asserts the
+qualitative result of the corresponding paper section.  These are the
+claims DESIGN.md commits to reproducing; the benchmark harness produces
+the full figures.
+"""
+
+import pytest
+
+from repro.core.params import DragonflyParams
+from repro.network.config import SimulationConfig
+from repro.network.sweep import run_point
+from repro.routing.ugal import make_routing
+from repro.topology.dragonfly import Dragonfly
+
+
+@pytest.fixture(scope="module")
+def df():
+    return Dragonfly(DragonflyParams.paper_example_72())
+
+
+def _run(df, routing, pattern, load, depth=16, warmup=800, measure=800,
+         drain=12_000):
+    config = SimulationConfig(
+        load=load,
+        warmup_cycles=warmup,
+        measure_cycles=measure,
+        drain_max_cycles=drain,
+        vc_buffer_depth=depth,
+    )
+    return run_point(df, make_routing(routing), pattern, config)
+
+
+class TestSection42_RoutingComparison:
+    """Figure 8: the four baseline algorithms."""
+
+    def test_ur_min_reaches_high_load_low_latency(self, df):
+        result = _run(df, "MIN", "uniform_random", 0.8)
+        assert result.drained
+        assert result.avg_latency < 15
+
+    def test_ur_valiant_doubles_latency_at_low_load(self, df):
+        min_result = _run(df, "MIN", "uniform_random", 0.1)
+        val_result = _run(df, "VAL", "uniform_random", 0.1)
+        assert val_result.avg_latency > 1.2 * min_result.avg_latency
+
+    def test_ur_ugal_tracks_min(self, df):
+        for name in ("UGAL-L", "UGAL-G"):
+            result = _run(df, name, "uniform_random", 0.7)
+            assert result.drained
+            assert result.avg_latency < 20
+
+    def test_wc_min_throughput_collapses(self, df):
+        result = _run(df, "MIN", "worst_case", 0.3, drain=2000)
+        assert result.accepted_load == pytest.approx(1 / 8, rel=0.2)
+
+    def test_wc_valiant_sustains_past_forty_percent(self, df):
+        result = _run(df, "VAL", "worst_case", 0.42)
+        assert result.drained
+        assert result.avg_latency < 30
+
+    def test_wc_ugal_g_low_latency_at_intermediate_load(self, df):
+        result = _run(df, "UGAL-G", "worst_case", 0.3)
+        assert result.avg_latency < 10
+
+    def test_wc_ugal_l_high_latency_at_intermediate_load(self, df):
+        """Problem II: UGAL-L pays heavily at intermediate load."""
+        ugal_l = _run(df, "UGAL-L", "worst_case", 0.3)
+        ugal_g = _run(df, "UGAL-G", "worst_case", 0.3)
+        assert ugal_l.avg_latency > 2.5 * ugal_g.avg_latency
+
+
+class TestSection431_ThroughputProblem:
+    """Figure 9 / 10: VC discrimination."""
+
+    def test_ugal_l_minimal_packets_suffer(self, df):
+        result = _run(df, "UGAL-L", "worst_case", 0.3)
+        assert result.avg_minimal_latency > 3 * result.avg_nonminimal_latency
+
+    def test_vc_fixes_wc_but_costs_ur_throughput(self, df):
+        wc = _run(df, "UGAL-L_VC", "worst_case", 0.42)
+        assert wc.drained
+        ur = _run(df, "UGAL-L_VC", "uniform_random", 0.9, drain=6000)
+        # ~30% throughput loss on UR (the paper's Figure 10a).
+        assert ur.saturated or ur.accepted_load < 0.85
+
+    def test_hybrid_keeps_ur_throughput(self, df):
+        ur = _run(df, "UGAL-L_VCH", "uniform_random", 0.85, drain=25_000)
+        assert ur.accepted_load > 0.8
+
+
+class TestSection432_LatencyProblem:
+    """Figures 11, 12, 14, 16: buffer depth and credit round-trip."""
+
+    def test_minimal_latency_scales_with_buffer_depth(self, df):
+        shallow = _run(df, "UGAL-L", "worst_case", 0.25, depth=16)
+        deep = _run(df, "UGAL-L", "worst_case", 0.25, depth=64, warmup=2000)
+        assert deep.avg_minimal_latency > 2 * shallow.avg_minimal_latency
+
+    def test_histogram_bimodal(self, df):
+        result = _run(df, "UGAL-L", "worst_case", 0.25)
+        # Non-minimal packets cluster at low latency...
+        assert result.avg_nonminimal_latency < 10
+        # ... while the minimal tail sits far above the mean.
+        assert result.avg_minimal_latency > 2 * result.avg_latency / 1.5
+
+    def test_shallower_buffers_cut_intermediate_latency(self, df):
+        depth4 = _run(df, "UGAL-L", "worst_case", 0.3, depth=4)
+        depth64 = _run(df, "UGAL-L", "worst_case", 0.3, depth=64, warmup=2000)
+        assert depth4.avg_latency < depth64.avg_latency
+
+    def test_cr_cuts_intermediate_latency(self, df):
+        """Figure 16(a): >= 35% reduction at 16-flit buffers."""
+        vch = _run(df, "UGAL-L_VCH", "worst_case", 0.3)
+        cr = _run(df, "UGAL-L_CR", "worst_case", 0.3)
+        assert cr.avg_latency < 0.65 * vch.avg_latency
+
+    def test_cr_latency_less_sensitive_to_buffers(self, df):
+        """Figure 16(a,b): UGAL-L_CR's latency grows far slower with
+        buffer depth than UGAL-L_VCH's."""
+        vch16 = _run(df, "UGAL-L_VCH", "worst_case", 0.3, depth=16)
+        vch256 = _run(df, "UGAL-L_VCH", "worst_case", 0.3, depth=256,
+                      warmup=5000)
+        cr16 = _run(df, "UGAL-L_CR", "worst_case", 0.3, depth=16)
+        cr256 = _run(df, "UGAL-L_CR", "worst_case", 0.3, depth=256,
+                     warmup=5000)
+        vch_growth = vch256.avg_latency / vch16.avg_latency
+        cr_growth = cr256.avg_latency / cr16.avg_latency
+        assert cr_growth < 0.5 * vch_growth
+
+    def test_cr_approaches_ugal_g_on_ur(self, df):
+        """Figure 16(c): latency reduction vs VCH near saturation."""
+        vch = _run(df, "UGAL-L_VCH", "uniform_random", 0.85, drain=25_000)
+        cr = _run(df, "UGAL-L_CR", "uniform_random", 0.85, drain=25_000)
+        assert cr.avg_latency < 1.15 * vch.avg_latency
+
+
+class TestConclusion_CombinedMechanisms:
+    def test_final_algorithm_close_to_ideal(self, df):
+        """UGAL-L_CR approaches UGAL-G: within ~4x latency at
+        intermediate WC load where plain UGAL-L is ~10x off."""
+        cr = _run(df, "UGAL-L_CR", "worst_case", 0.3)
+        ideal = _run(df, "UGAL-G", "worst_case", 0.3)
+        plain = _run(df, "UGAL-L", "worst_case", 0.3)
+        assert cr.avg_latency < 4 * ideal.avg_latency
+        assert plain.avg_latency > cr.avg_latency

@@ -1,0 +1,49 @@
+"""Tests for the simulation configuration validation."""
+
+import pytest
+
+from repro.network.config import SimulationConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = SimulationConfig()
+        assert config.num_vcs == 3
+        assert config.vc_buffer_depth == 16
+
+    @pytest.mark.parametrize("load", [0.0, -0.5, 1.5])
+    def test_rejects_bad_load(self, load):
+        with pytest.raises(ValueError):
+            SimulationConfig(load=load)
+
+    def test_rejects_too_few_vcs(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(num_vcs=2)
+
+    def test_rejects_zero_buffer(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(vc_buffer_depth=0)
+
+    def test_rejects_packet_larger_than_buffer(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(packet_size=20, vc_buffer_depth=16)
+
+    def test_rejects_negative_gain(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(credit_delay_gain=-1.0)
+
+    def test_rejects_empty_measurement(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(measure_cycles=0)
+
+
+class TestBuilders:
+    def test_with_load(self):
+        config = SimulationConfig(load=0.1).with_load(0.5)
+        assert config.load == 0.5
+
+    def test_with_buffers(self):
+        config = SimulationConfig().with_buffers(256)
+        assert config.vc_buffer_depth == 256
+        # original untouched (frozen dataclass semantics)
+        assert SimulationConfig().vc_buffer_depth == 16

@@ -1,0 +1,105 @@
+"""Tests for seed replication and confidence intervals."""
+
+import math
+
+import pytest
+
+from repro.network.config import SimulationConfig
+from repro.network.replication import ReplicatedMetric, replicate
+from repro.routing.ugal import make_routing
+
+
+@pytest.fixture()
+def config():
+    return SimulationConfig(
+        load=0.2, warmup_cycles=300, measure_cycles=300, drain_max_cycles=4000
+    )
+
+
+class TestReplicatedMetric:
+    def test_mean_and_std(self):
+        metric = ReplicatedMetric("x", [1.0, 2.0, 3.0])
+        assert metric.mean == 2.0
+        assert metric.std == pytest.approx(1.0)
+
+    def test_ci_shrinks_with_runs(self):
+        narrow = ReplicatedMetric("x", [1.0, 2.0] * 8)
+        wide = ReplicatedMetric("x", [1.0, 2.0])
+        assert narrow.ci95_half_width < wide.ci95_half_width
+
+    def test_single_value_zero_spread(self):
+        metric = ReplicatedMetric("x", [5.0])
+        assert metric.std == 0.0
+        assert metric.ci95_half_width == 0.0
+
+    def test_str(self):
+        assert "n=2" in str(ReplicatedMetric("lat", [1.0, 2.0]))
+
+
+class TestReplicate:
+    def test_basic_replication(self, paper72_dragonfly, config):
+        result = replicate(
+            paper72_dragonfly,
+            lambda: make_routing("MIN"),
+            "uniform_random",
+            config,
+            seeds=(1, 2, 3),
+        )
+        assert result.latency.runs == 3
+        assert result.saturated_runs == 0
+        assert result.accepted_load.mean == pytest.approx(0.2, abs=0.03)
+
+    def test_seeds_produce_variance(self, paper72_dragonfly, config):
+        result = replicate(
+            paper72_dragonfly,
+            lambda: make_routing("MIN"),
+            "uniform_random",
+            config,
+            seeds=(1, 2, 3, 4),
+        )
+        assert result.latency.std > 0
+
+    def test_ci_is_tight_at_low_load(self, paper72_dragonfly, config):
+        result = replicate(
+            paper72_dragonfly,
+            lambda: make_routing("MIN"),
+            "uniform_random",
+            config,
+            seeds=(1, 2, 3, 4, 5),
+        )
+        assert result.latency.ci95_half_width < 0.25 * result.latency.mean
+
+    def test_saturated_runs_counted(self, paper72_dragonfly):
+        config = SimulationConfig(
+            load=0.4, warmup_cycles=300, measure_cycles=300,
+            drain_max_cycles=300,
+        )
+        result = replicate(
+            paper72_dragonfly,
+            lambda: make_routing("MIN"),
+            "worst_case",
+            config,
+            seeds=(1, 2),
+        )
+        assert result.saturated_runs == 2
+        assert math.isinf(result.latency.mean)
+
+    def test_requires_seeds(self, paper72_dragonfly, config):
+        with pytest.raises(ValueError):
+            replicate(
+                paper72_dragonfly,
+                lambda: make_routing("MIN"),
+                "uniform_random",
+                config,
+                seeds=(),
+            )
+
+    def test_summary_renders(self, paper72_dragonfly, config):
+        result = replicate(
+            paper72_dragonfly,
+            lambda: make_routing("MIN"),
+            "uniform_random",
+            config,
+            seeds=(1, 2),
+        )
+        assert "latency" in result.summary() or "MIN" in result.summary()

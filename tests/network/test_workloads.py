@@ -1,0 +1,120 @@
+"""Tests for bulk-synchronous workloads and the batch injection mode."""
+
+import pytest
+
+from repro.core.params import DragonflyParams
+from repro.network.config import SimulationConfig
+from repro.network.simulator import Simulator
+from repro.network.traffic import make_pattern
+from repro.network.workloads import (
+    ApplicationWorkload,
+    CommunicationPhase,
+    adversarial_neighbor,
+    fft_transpose,
+    global_reduce,
+    run_workload,
+    standard_workloads,
+    stencil_exchange,
+)
+from repro.routing.ugal import make_routing
+from repro.topology.dragonfly import Dragonfly
+
+
+@pytest.fixture(scope="module")
+def df():
+    return Dragonfly(DragonflyParams.paper_example_72())
+
+
+class TestBulkMode:
+    def _run(self, df, routing="MIN", pattern="uniform_random", quota=10,
+             **kwargs):
+        config = SimulationConfig(
+            packets_per_terminal=quota, drain_max_cycles=50_000, **kwargs
+        )
+        p = make_pattern(pattern, df, seed=3)
+        return Simulator(df, make_routing(routing), p, config).run()
+
+    def test_all_packets_delivered(self, df):
+        result = self._run(df, quota=10)
+        assert result.drained
+        assert len(result.samples) == 10 * df.num_terminals
+
+    def test_completion_time_scales_with_volume(self, df):
+        small = self._run(df, quota=5)
+        large = self._run(df, quota=20)
+        assert large.total_cycles > 2 * small.total_cycles
+
+    def test_adaptive_beats_minimal_on_adversarial_burst(self, df):
+        minimal = self._run(df, routing="MIN", pattern="worst_case", quota=20)
+        adaptive = self._run(df, routing="UGAL-L_CR", pattern="worst_case", quota=20)
+        assert adaptive.total_cycles < 0.6 * minimal.total_cycles
+
+    def test_rejects_zero_quota(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(packets_per_terminal=0)
+
+    def test_invariants_hold(self, df):
+        config = SimulationConfig(packets_per_terminal=8, drain_max_cycles=20_000)
+        pattern = make_pattern("worst_case", df, seed=4)
+        simulator = Simulator(df, make_routing("UGAL-L_VCH"), pattern, config)
+        simulator.run()
+        simulator.check_invariants()
+
+
+class TestPhaseValidation:
+    def test_phase_rejects_zero_volume(self):
+        with pytest.raises(ValueError):
+            CommunicationPhase("x", "uniform_random", 0)
+
+    def test_workload_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ApplicationWorkload("empty", [])
+
+    def test_total_volume(self):
+        workload = stencil_exchange(volume=8)
+        assert workload.total_packets_per_terminal == 24
+
+
+class TestPredefinedWorkloads:
+    def test_standard_list(self, df):
+        workloads = standard_workloads(df.num_terminals)
+        names = {w.name for w in workloads}
+        assert names == {
+            "stencil_exchange", "fft_transpose", "global_reduce",
+            "adversarial_neighbor",
+        }
+
+    def test_fft_uses_transpose_when_square(self):
+        workload = fft_transpose(num_terminals=64)
+        assert any(p.pattern == "transpose" for p in workload.phases)
+
+    def test_fft_falls_back_otherwise(self):
+        workload = fft_transpose(num_terminals=72)
+        assert all(p.pattern != "transpose" for p in workload.phases)
+
+
+class TestRunWorkload:
+    def test_phases_complete(self, df):
+        result = run_workload(df, "UGAL-L_VCH", stencil_exchange(volume=4))
+        assert result.completed
+        assert len(result.phase_results) == 3
+        assert result.total_cycles == sum(
+            r.completion_cycles for r in result.phase_results
+        )
+
+    def test_adversarial_workload_prefers_adaptive(self, df):
+        workload = adversarial_neighbor(volume=8)
+        minimal = run_workload(df, "MIN", workload)
+        adaptive = run_workload(df, "UGAL-L_CR", workload)
+        assert adaptive.completed
+        assert adaptive.total_cycles < minimal.total_cycles
+
+    def test_summary_renders(self, df):
+        result = run_workload(df, "MIN", global_reduce(volume=2))
+        assert "global_reduce" in result.summary()
+
+    def test_phase_latency_stats_populated(self, df):
+        result = run_workload(df, "MIN", global_reduce(volume=2))
+        for phase_result in result.phase_results:
+            assert phase_result.avg_latency > 0
+            assert phase_result.p99_latency >= phase_result.avg_latency * 0.5

@@ -1,0 +1,164 @@
+"""Tests for flattened-butterfly routing and simulation (extension)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.config import SimulationConfig
+from repro.network.simulator import Simulator
+from repro.network.traffic import FbAdversarial, make_pattern
+from repro.routing.fb_paths import (
+    FbRoutePlan,
+    fb_minimal_plan,
+    fb_plan_hops,
+    fb_valiant_plan,
+    fb_walk_route,
+)
+from repro.routing.fb_routing import FbUgalL, make_fb_routing
+from repro.topology.flattened_butterfly import FlattenedButterfly
+
+
+@pytest.fixture(scope="module")
+def fb():
+    return FlattenedButterfly(dims=(4, 4), concentration=4)
+
+
+def _route_reaches(topology, src_terminal, dst_terminal, plan):
+    src_router = topology.terminal_router(src_terminal)
+    trace = fb_walk_route(topology, src_router, dst_terminal, plan)
+    last_router, last_port, _ = trace[-1]
+    assert last_router == topology.terminal_router(dst_terminal)
+    assert last_port == topology.terminal_port(dst_terminal)
+    return trace
+
+
+class TestFbPlans:
+    def test_minimal_is_dimension_order(self, fb):
+        plan = fb_minimal_plan()
+        trace = _route_reaches(fb, 0, fb.num_terminals - 1, plan)
+        # 2 dimension hops + ejection.
+        assert len(trace) == 3
+        assert fb_plan_hops(fb, 0, fb.num_terminals - 1, plan) == 2
+
+    def test_minimal_same_router(self, fb):
+        plan = fb_minimal_plan()
+        trace = _route_reaches(fb, 0, 1, plan)
+        assert len(trace) == 1  # direct ejection
+
+    def test_valiant_reaches_destination(self, fb):
+        rng = random.Random(3)
+        for _ in range(30):
+            plan = fb_valiant_plan(fb, rng, 0, fb.num_terminals - 1)
+            _route_reaches(fb, 0, fb.num_terminals - 1, plan)
+
+    def test_valiant_hop_bound(self, fb):
+        rng = random.Random(4)
+        for _ in range(30):
+            plan = fb_valiant_plan(fb, rng, 0, 63)
+            assert fb_plan_hops(fb, 0, 63, plan) <= 2 * len(fb.dims)
+
+    def test_valiant_degenerates_on_endpoint_draw(self, fb):
+        dst_router = fb.terminal_router(63)
+        plan = fb_valiant_plan(fb, random.Random(5), 0, 63,
+                               intermediate_router=dst_router)
+        assert plan.minimal
+
+    def test_vcs_escalate_at_intermediate(self, fb):
+        plan = fb_valiant_plan(fb, random.Random(6), 0, 63,
+                               intermediate_router=5)
+        trace = fb_walk_route(fb, 0, 63, plan)
+        vcs_used = [vc for _, port, vc in trace[:-1]]
+        assert vcs_used == sorted(vcs_used)
+        assert set(vcs_used) <= {0, 1}
+
+
+class TestFbUgal:
+    def test_idle_network_routes_minimally(self, fb):
+        from repro.routing.base import ZeroCongestion
+
+        algorithm = FbUgalL()
+        rng = random.Random(7)
+        for dst in (10, 40, 63):
+            assert algorithm.decide(ZeroCongestion(), fb, rng, 0, dst).minimal
+
+    def test_factory(self):
+        for name in ("FB-MIN", "FB-VAL", "FB-UGAL-L"):
+            assert make_fb_routing(name).name == name
+        with pytest.raises(ValueError):
+            make_fb_routing("FB-UGAL-G")
+
+
+class TestFbAdversarialPattern:
+    def test_targets_next_router_in_dim(self, fb):
+        pattern = FbAdversarial(fb, seed=8)
+        src_router = fb.terminal_router(0)
+        dst_router = fb.terminal_router(pattern(0))
+        src_coords, dst_coords = fb.coords_of(src_router), fb.coords_of(dst_router)
+        assert dst_coords[-1] == (src_coords[-1] + 1) % fb.dims[-1]
+        assert dst_coords[:-1] == src_coords[:-1]
+
+    def test_rejects_non_fb(self, paper72_dragonfly):
+        with pytest.raises(TypeError):
+            FbAdversarial(paper72_dragonfly)
+
+
+class TestFbSimulation:
+    def _run(self, fb, name, pattern_name, load, drain=6000):
+        config = SimulationConfig(
+            load=load, warmup_cycles=500, measure_cycles=500,
+            drain_max_cycles=drain,
+        )
+        pattern = make_pattern(pattern_name, fb, seed=11)
+        return Simulator(fb, make_fb_routing(name), pattern, config).run()
+
+    def test_all_algorithms_drain_uniform(self, fb):
+        for name in ("FB-MIN", "FB-VAL", "FB-UGAL-L"):
+            result = self._run(fb, name, "uniform_random", 0.3)
+            assert result.drained, name
+
+    def test_min_adversarial_caps_at_1_over_c(self, fb):
+        """DOR funnels a router's c terminals onto one channel."""
+        result = self._run(fb, "FB-MIN", "fb_adversarial", 0.4, drain=1000)
+        assert result.accepted_load == pytest.approx(1 / fb.concentration, rel=0.2)
+
+    def test_ugal_survives_adversarial(self, fb):
+        result = self._run(fb, "FB-UGAL-L", "fb_adversarial", 0.4)
+        assert result.drained
+        assert result.avg_latency < 30
+
+    def test_local_information_is_direct_on_fb(self, fb):
+        """The dragonfly paper's contrast: on the FB the congested
+        channel sits on the source router, so UGAL-L adapts without the
+        dragonfly's intermediate-latency pathology."""
+        ugal = self._run(fb, "FB-UGAL-L", "fb_adversarial", 0.35)
+        val = self._run(fb, "FB-VAL", "fb_adversarial", 0.35)
+        assert ugal.avg_latency < 2 * val.avg_latency
+
+    def test_invariants(self, fb):
+        config = SimulationConfig(
+            load=0.4, warmup_cycles=300, measure_cycles=300,
+            drain_max_cycles=3000,
+        )
+        pattern = make_pattern("fb_adversarial", fb, seed=12)
+        simulator = Simulator(fb, make_fb_routing("FB-UGAL-L"), pattern, config)
+        simulator.run()
+        simulator.check_invariants()
+
+
+@given(
+    src=st.integers(min_value=0, max_value=63),
+    dst=st.integers(min_value=0, max_value=63),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_fb_any_route_reaches(src, dst, seed):
+    """Property: every FB plan terminates at its destination."""
+    fb = FlattenedButterfly(dims=(4, 4), concentration=4)
+    rng = random.Random(seed)
+    plan = fb_valiant_plan(fb, rng, fb.terminal_router(src), dst)
+    trace = fb_walk_route(fb, fb.terminal_router(src), dst, plan)
+    last_router, last_port, _ = trace[-1]
+    assert last_router == fb.terminal_router(dst)
+    assert last_port == fb.terminal_port(dst)

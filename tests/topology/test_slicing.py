@@ -1,0 +1,63 @@
+"""Tests for channel slicing and bandwidth tapering (Section 3.2)."""
+
+import pytest
+
+from repro.core.params import DragonflyParams
+from repro.topology.base import ChannelKind
+from repro.topology.slicing import ChannelSlicedDragonfly, tapered_dragonfly
+
+
+class TestChannelSlicing:
+    def test_slices_are_identical_topologies(self):
+        sliced = ChannelSlicedDragonfly(DragonflyParams(p=1, a=2, h=1), num_slices=3)
+        cables = {df.fabric.num_cables() for df in sliced.slices}
+        assert len(cables) == 1
+
+    def test_total_cables_scale_with_slices(self):
+        params = DragonflyParams(p=1, a=2, h=1)
+        one = ChannelSlicedDragonfly(params, num_slices=1)
+        three = ChannelSlicedDragonfly(params, num_slices=3)
+        assert three.total_cables() == 3 * one.total_cables()
+
+    def test_terminal_bandwidth_multiplier(self):
+        sliced = ChannelSlicedDragonfly(DragonflyParams(p=1, a=2, h=1), num_slices=4)
+        assert sliced.terminal_bandwidth_multiplier == 4
+        assert sliced.num_terminals == 6
+
+    def test_round_robin_assignment(self):
+        sliced = ChannelSlicedDragonfly(DragonflyParams(p=1, a=2, h=1), num_slices=2)
+        assert [sliced.slice_for_packet(i) for i in range(4)] == [0, 1, 0, 1]
+        assert [sliced.next_slice() for _ in range(4)] == [0, 1, 0, 1]
+
+    def test_rejects_zero_slices(self):
+        with pytest.raises(ValueError):
+            ChannelSlicedDragonfly(DragonflyParams(p=1, a=2, h=1), num_slices=0)
+
+
+class TestTapering:
+    def test_taper_reduces_global_cables(self):
+        params = DragonflyParams(p=2, a=4, h=2, num_groups=3)
+        full = tapered_dragonfly(params, max_channels_per_pair=4)
+        lean = tapered_dragonfly(params, max_channels_per_pair=2)
+        assert (
+            lean.fabric.num_cables(ChannelKind.GLOBAL)
+            < full.fabric.num_cables(ChannelKind.GLOBAL)
+        )
+
+    def test_taper_keeps_connectivity(self):
+        params = DragonflyParams(p=2, a=4, h=2, num_groups=3)
+        lean = tapered_dragonfly(params, max_channels_per_pair=1)
+        assert lean.fabric.is_connected()
+        for i in range(3):
+            for j in range(3):
+                if i != j:
+                    assert len(lean.group_links(i, j)) == 1
+
+    def test_local_channels_unchanged(self):
+        params = DragonflyParams(p=2, a=4, h=2, num_groups=3)
+        full = tapered_dragonfly(params, max_channels_per_pair=4)
+        lean = tapered_dragonfly(params, max_channels_per_pair=1)
+        assert (
+            full.fabric.num_cables(ChannelKind.LOCAL)
+            == lean.fabric.num_cables(ChannelKind.LOCAL)
+        )

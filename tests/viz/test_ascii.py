@@ -1,0 +1,94 @@
+"""Tests for the ASCII chart renderers."""
+
+import math
+
+import pytest
+
+from repro.viz.ascii import bar_chart, histogram_chart, line_chart, sweep_chart
+
+
+class TestLineChart:
+    def test_renders_markers_and_legend(self):
+        chart = line_chart(
+            {"MIN": [(0.1, 5.0), (0.5, 10.0)], "VAL": [(0.1, 8.0), (0.5, 20.0)]},
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "o MIN" in chart and "x VAL" in chart
+        assert chart.count("o") >= 2
+
+    def test_saturated_points_pinned_to_top(self):
+        chart = line_chart({"MIN": [(0.1, 5.0), (0.9, math.inf)]})
+        assert "^" in chart
+        assert "off-scale" in chart
+
+    def test_y_max_clips(self):
+        chart = line_chart({"A": [(0.0, 1.0), (1.0, 100.0)]}, y_max=10)
+        assert "^" in chart
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            line_chart({"A": [(0, 1)]}, width=2, height=2)
+
+    def test_single_x_value_handled(self):
+        chart = line_chart({"A": [(0.5, 3.0)]})
+        assert "o" in chart
+
+    def test_axis_labels_present(self):
+        chart = line_chart(
+            {"A": [(0, 1), (1, 2)]}, x_label="load", y_label="latency"
+        )
+        assert "x: load" in chart
+        assert "y: latency" in chart
+
+
+class TestBarChart:
+    def test_bars_scale_relative_to_max(self):
+        chart = bar_chart({"minimal": 1.0, "other": 0.5}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_labels_aligned(self):
+        chart = bar_chart({"a": 1.0, "long_name": 1.0})
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_zero_values_ok(self):
+        chart = bar_chart({"a": 0.0, "b": 0.0})
+        assert "#" not in chart
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+
+class TestHistogramChart:
+    def test_bins_render(self):
+        chart = histogram_chart([(0, 0.6), (5, 0.3), (50, 0.1)], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert "0.600" in lines[0]
+        assert "     0" in lines[0] and "    50" in lines[2]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            histogram_chart([])
+
+
+class TestSweepChart:
+    def test_charts_real_sweep(self, tiny_dragonfly, fast_config):
+        from repro.network.sweep import load_sweep
+
+        sweeps = {
+            "MIN": load_sweep(
+                tiny_dragonfly, "MIN", "uniform_random", (0.1, 0.4), fast_config
+            ),
+        }
+        chart = sweep_chart(sweeps)
+        assert "offered load" in chart
+        assert "o MIN" in chart
