@@ -1,0 +1,79 @@
+"""Static analysis for the dragonfly reproduction (``python -m repro.check``).
+
+Three passes certify correctness *before* any simulation runs:
+
+* :mod:`repro.check.cdg` -- channel-dependency-graph certification of
+  deadlock freedom for every registered (topology, routing, VC
+  assignment) configuration, with concrete counterexample cycles on
+  failure;
+* :mod:`repro.check.invariants` -- topology invariant linter for the
+  paper's parameter algebra and fabric wiring;
+* :mod:`repro.check.lint` -- repo-specific AST lint (seeded randomness,
+  ``__slots__`` on hot-path classes, no ``print`` in library code).
+
+See ``docs/static-analysis.md`` for usage and for how to register a new
+routing algorithm with the certifier.
+"""
+
+from .cdg import (
+    Certification,
+    cdg_from_traces,
+    certify,
+    describe_cycle,
+    dragonfly_traces,
+    find_counterexample,
+    flattened_butterfly_traces,
+    folded_clos_traces,
+    torus_traces,
+    variant_traces,
+)
+from .invariants import (
+    audit_dragonfly,
+    audit_fabric,
+    audit_flattened_butterfly,
+    audit_folded_clos,
+    audit_topology,
+    audit_torus,
+    default_topology_audits,
+)
+from .lint import lint_file, lint_sources, lint_tree
+from .registry import (
+    CheckConfiguration,
+    all_configurations,
+    broken_configuration,
+    default_configurations,
+    register,
+)
+from .report import CheckReport, Finding, Severity, combined_exit_code
+
+__all__ = [
+    "Certification",
+    "CheckConfiguration",
+    "CheckReport",
+    "Finding",
+    "Severity",
+    "all_configurations",
+    "audit_dragonfly",
+    "audit_fabric",
+    "audit_flattened_butterfly",
+    "audit_folded_clos",
+    "audit_topology",
+    "audit_torus",
+    "broken_configuration",
+    "cdg_from_traces",
+    "certify",
+    "combined_exit_code",
+    "default_configurations",
+    "default_topology_audits",
+    "describe_cycle",
+    "dragonfly_traces",
+    "find_counterexample",
+    "flattened_butterfly_traces",
+    "folded_clos_traces",
+    "lint_file",
+    "lint_sources",
+    "lint_tree",
+    "register",
+    "torus_traces",
+    "variant_traces",
+]

@@ -1,0 +1,158 @@
+"""``python -m repro.check`` -- the static-analysis gate.
+
+Runs up to three passes and exits nonzero when any produces an ERROR:
+
+* ``cdg``         -- certify deadlock freedom of every registered
+                     (topology, routing, VC assignment) configuration;
+* ``invariants``  -- audit the topology algebra and wiring invariants;
+* ``lint``        -- repo-specific AST lint of ``src/repro``.
+
+With no arguments all three run.  See ``--help`` for selection flags and
+``docs/static-analysis.md`` for the full story.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .cdg import certify
+from .invariants import audit_topology, default_topology_audits
+from .lint import lint_sources
+from .registry import all_configurations, broken_configuration
+from .report import CheckReport, Severity, combined_exit_code
+
+PASSES = ("cdg", "invariants", "lint")
+
+
+def run_cdg_pass(demo_broken: bool = False) -> CheckReport:
+    """Certify every registered configuration (plus the negative demo)."""
+    report = CheckReport(pass_name="cdg")
+    configurations = list(all_configurations())
+    if demo_broken:
+        configurations.append(broken_configuration())
+    for configuration in configurations:
+        fabric, traces = configuration.build()
+        certification = certify(configuration.name, fabric, traces)
+        report.note(certification.summary())
+        if certification.ok == configuration.expect_deadlock_free:
+            if not certification.ok:
+                # Negative control behaved as documented: show the cycle
+                # as evidence but do not fail the gate.
+                report.add(
+                    "CDG002", Severity.INFO, configuration.name,
+                    "expected counterexample found:\n"
+                    + (certification.cycle_description or ""),
+                )
+            continue
+        if certification.ok:
+            report.add(
+                "CDG003", Severity.ERROR, configuration.name,
+                "configuration documented as deadlocking was certified "
+                "acyclic; negative control has rotted",
+            )
+        else:
+            report.add(
+                "CDG001", Severity.ERROR, configuration.name,
+                "channel-dependency graph is CYCLIC; counterexample "
+                "deadlock cycle:\n" + (certification.cycle_description or ""),
+            )
+    return report
+
+
+def run_invariants_pass() -> CheckReport:
+    """Audit every registered topology instance."""
+    report = CheckReport(pass_name="invariants")
+    for name, build in default_topology_audits():
+        topology = build()
+        findings = audit_topology(topology)
+        report.extend(findings)
+        errors = sum(1 for f in findings if f.severity == Severity.ERROR)
+        report.note(f"{name}: {'ok' if not errors else f'{errors} errors'}")
+    return report
+
+
+def run_lint_pass(root: Optional[str] = None) -> CheckReport:
+    """Run the repo-specific AST lint."""
+    report = CheckReport(pass_name="lint")
+    findings = lint_sources(root)
+    report.extend(findings)
+    report.note(f"{len(findings)} finding(s)")
+    return report
+
+
+def run_passes(
+    passes: Sequence[str],
+    demo_broken: bool = False,
+    lint_root: Optional[str] = None,
+) -> List[CheckReport]:
+    reports = []
+    for name in passes:
+        if name == "cdg":
+            reports.append(run_cdg_pass(demo_broken=demo_broken))
+        elif name == "invariants":
+            reports.append(run_invariants_pass())
+        elif name == "lint":
+            reports.append(run_lint_pass(root=lint_root))
+        else:
+            raise ValueError(f"unknown pass {name!r}")
+    return reports
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="static deadlock-freedom certifier, topology invariant "
+        "linter and code lint for the dragonfly reproduction",
+    )
+    parser.add_argument(
+        "passes", nargs="*", metavar="pass",
+        help=f"passes to run, from {{{', '.join(PASSES)}}} (default: all three)",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list registered CDG configurations and topology audits, then exit",
+    )
+    parser.add_argument(
+        "--demo-broken", action="store_true",
+        help="also certify the deliberately broken collapsed-2vc assignment "
+        "to demonstrate counterexample extraction (does not fail the gate)",
+    )
+    parser.add_argument(
+        "--lint-root", default=None,
+        help="directory to lint instead of the installed repro package",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="show per-configuration notes and INFO findings",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print("CDG configurations:")
+        for configuration in all_configurations():
+            print(f"  {configuration.name}  ({configuration.description})")
+        print("Topology audits:")
+        for name, _ in default_topology_audits():
+            print(f"  {name}")
+        return 0
+
+    passes = args.passes or list(PASSES)
+    unknown = [name for name in passes if name not in PASSES]
+    if unknown:
+        parser.error(
+            f"unknown pass(es) {', '.join(unknown)}; choose from {', '.join(PASSES)}"
+        )
+    reports = run_passes(
+        passes, demo_broken=args.demo_broken, lint_root=args.lint_root
+    )
+    for report in reports:
+        print(report.format(verbose=args.verbose))
+    code = combined_exit_code(reports)
+    print("repro.check:", "all passes clean" if code == 0 else "FAILED")
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,303 @@
+"""Static channel-dependency-graph (CDG) certification of deadlock freedom.
+
+The classic Dally--Seitz condition: wormhole/VCT routing is deadlock-free
+iff the dependency graph over *buffer resources* -- here (directed
+channel, virtual channel) pairs -- is acyclic, where an edge A -> B means
+some admissible route can hold a flit in buffer A while requesting
+buffer B.
+
+This module proves that condition *statically* for a concrete
+(topology, routing algorithm, VC assignment) triple by exhaustively
+enumerating every route the route-class admits (every source router,
+every destination terminal, every global-channel / intermediate /
+up-port choice the algorithm could make), re-executing each route through
+the same ``next_hop`` executor the simulator uses, and checking the
+resulting graph with :func:`networkx.is_directed_acyclic_graph`.  When
+the proof fails, :func:`find_counterexample` extracts a concrete cycle
+of (channel, VC) buffers and renders it as a human-readable deadlock
+scenario.
+
+The enumeration is a *superset* of what an adaptive algorithm (UGAL)
+actually routes -- UGAL always picks between the minimal and one Valiant
+candidate, both of which are enumerated here -- so acyclicity of the
+enumerated graph certifies every UGAL variant as well.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+import networkx as nx
+
+from ..network.packet import RoutePlan
+from ..routing import vc_assignment as vcs
+from ..routing.clos_routing import ClosRoutePlan, clos_walk_route
+from ..routing.fb_paths import FbRoutePlan, fb_walk_route
+from ..routing.paths import walk_route
+from ..routing.torus_routing import TorusRoutePlan, torus_walk_route
+from ..routing.variant_paths import variant_walk_route
+from ..topology.base import Fabric
+from ..topology.dragonfly import Dragonfly
+from ..topology.flattened_butterfly import FlattenedButterfly
+from ..topology.folded_clos import FoldedClos
+from ..topology.group_variants import FlattenedButterflyGroupDragonfly
+from ..topology.torus import Torus
+
+#: One hop of a walked route: (router, out_port, vc).  The final element
+#: of a trace is the ejection hop (terminal port), which holds no network
+#: buffer and is excluded from the CDG.
+Trace = List[Tuple[int, int, int]]
+
+#: A CDG node: (directed channel index, virtual channel).
+CdgNode = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Certification:
+    """Outcome of certifying one (topology, routing, VC) configuration."""
+
+    name: str
+    ok: bool
+    num_routes: int
+    num_nodes: int
+    num_edges: int
+    #: The counterexample cycle as CDG nodes, when the proof failed.
+    cycle: Optional[List[CdgNode]] = None
+    #: Human-readable rendering of ``cycle`` (one line per buffer).
+    cycle_description: Optional[str] = None
+
+    def summary(self) -> str:
+        verdict = "deadlock-free" if self.ok else "CYCLIC"
+        return (
+            f"{self.name}: {verdict} "
+            f"({self.num_routes} routes, {self.num_nodes} buffers, "
+            f"{self.num_edges} dependencies)"
+        )
+
+
+def cdg_from_traces(fabric: Fabric, traces: Iterable[Trace]) -> Tuple[nx.DiGraph, int]:
+    """Build the (channel, VC) dependency graph of a set of route traces.
+
+    Returns the graph and the number of traces consumed.  A dependency
+    edge is added between every pair of *consecutive* buffers a route
+    occupies: holding buffer ``i`` while requesting buffer ``i+1``.
+    (Unlike the abstract channel-class analysis, no subsequence closure
+    is needed -- the enumeration includes every admissible route, so
+    skipped-hop variants appear as their own traces.)
+    """
+    graph: nx.DiGraph = nx.DiGraph()
+    num_routes = 0
+    for trace in traces:
+        num_routes += 1
+        previous: Optional[CdgNode] = None
+        for router, port, vc in trace:
+            channel = fabric.out_channel(router, port)
+            if channel is None:
+                break  # ejection: terminal ports hold no network buffer
+            node = (channel.index, vc)
+            graph.add_node(node)
+            if previous is not None:
+                graph.add_edge(previous, node)
+            previous = node
+    return graph, num_routes
+
+
+def find_counterexample(graph: nx.DiGraph) -> Optional[List[CdgNode]]:
+    """A concrete buffer cycle, or None when the graph is acyclic."""
+    try:
+        edges = nx.find_cycle(graph, orientation="original")
+    except nx.NetworkXNoCycle:
+        return None
+    return [edge[0] for edge in edges]
+
+
+def describe_cycle(fabric: Fabric, cycle: List[CdgNode]) -> str:
+    """Render a buffer cycle as one 'holds ... waits for ...' line per hop."""
+    lines = []
+    for i, (channel_index, vc) in enumerate(cycle):
+        channel = fabric.channels[channel_index]
+        nxt_channel, nxt_vc = cycle[(i + 1) % len(cycle)]
+        nxt = fabric.channels[nxt_channel]
+        lines.append(
+            f"  packet holding {channel.kind.value} channel "
+            f"{channel.src.router}->{channel.dst.router} VC{vc} "
+            f"waits for {nxt.kind.value} channel "
+            f"{nxt.src.router}->{nxt.dst.router} VC{nxt_vc}"
+        )
+    return "\n".join(lines)
+
+
+def certify(name: str, fabric: Fabric, traces: Iterable[Trace]) -> Certification:
+    """Certify one configuration: build the CDG and prove acyclicity."""
+    graph, num_routes = cdg_from_traces(fabric, traces)
+    cycle = find_counterexample(graph)
+    return Certification(
+        name=name,
+        ok=cycle is None,
+        num_routes=num_routes,
+        num_nodes=graph.number_of_nodes(),
+        num_edges=graph.number_of_edges(),
+        cycle=cycle,
+        cycle_description=describe_cycle(fabric, cycle) if cycle else None,
+    )
+
+
+# ----------------------------------------------------------------------
+# Route enumeration, one generator per topology/routing family.  Each
+# yields full (router, port, vc) traces produced by the *real* executors.
+# ----------------------------------------------------------------------
+def dragonfly_traces(
+    topology: Dragonfly,
+    assignment: vcs.VcAssignment = vcs.CANONICAL,
+    include_nonminimal: bool = True,
+) -> Iterator[Trace]:
+    """Every admissible dragonfly route under the given assignment.
+
+    Minimal routes: every source router x destination terminal x global
+    channel between the two groups.  Non-minimal (Valiant) routes: the
+    same, additionally over every intermediate group and every second
+    global channel.  This is a superset of what MIN/VAL/UGAL-* can emit
+    (their tie-breaks select among these links), so the certificate
+    covers all of them.
+    """
+    include_nonminimal = include_nonminimal and assignment.supports_nonminimal
+    for src_router in range(topology.fabric.num_routers):
+        src_group = topology.group_of(src_router)
+        for dst_terminal in range(topology.num_terminals):
+            dst_router = topology.terminal_router(dst_terminal)
+            dst_group = topology.group_of(dst_router)
+            if src_group == dst_group:
+                yield walk_route(
+                    topology, src_router, dst_terminal,
+                    RoutePlan(minimal=True), assignment,
+                )
+                continue
+            for gc1 in topology.group_links(src_group, dst_group):
+                yield walk_route(
+                    topology, src_router, dst_terminal,
+                    RoutePlan(minimal=True, gc1=gc1), assignment,
+                )
+            if not include_nonminimal:
+                continue
+            for mid_group in range(topology.g):
+                if mid_group in (src_group, dst_group):
+                    continue
+                for gc1 in topology.group_links(src_group, mid_group):
+                    for gc2 in topology.group_links(mid_group, dst_group):
+                        yield walk_route(
+                            topology, src_router, dst_terminal,
+                            RoutePlan(minimal=False, gc1=gc1, gc2=gc2),
+                            assignment,
+                        )
+
+
+def variant_traces(
+    topology: FlattenedButterflyGroupDragonfly,
+    assignment: vcs.VcAssignment = vcs.CANONICAL,
+    include_nonminimal: bool = True,
+) -> Iterator[Trace]:
+    """Every admissible route on a Figure 6 group-variant dragonfly."""
+    include_nonminimal = include_nonminimal and assignment.supports_nonminimal
+    for src_router in range(topology.num_routers):
+        src_group = topology.group_of(src_router)
+        for dst_terminal in range(topology.num_terminals):
+            dst_router = topology.terminal_router(dst_terminal)
+            dst_group = topology.group_of(dst_router)
+            if src_group == dst_group:
+                yield variant_walk_route(
+                    topology, src_router, dst_terminal,
+                    RoutePlan(minimal=True), assignment,
+                )
+                continue
+            for gc1 in topology.group_links(src_group, dst_group):
+                yield variant_walk_route(
+                    topology, src_router, dst_terminal,
+                    RoutePlan(minimal=True, gc1=gc1), assignment,
+                )
+            if not include_nonminimal:
+                continue
+            for mid_group in range(topology.g):
+                if mid_group in (src_group, dst_group):
+                    continue
+                for gc1 in topology.group_links(src_group, mid_group):
+                    for gc2 in topology.group_links(mid_group, dst_group):
+                        yield variant_walk_route(
+                            topology, src_router, dst_terminal,
+                            RoutePlan(minimal=False, gc1=gc1, gc2=gc2),
+                            assignment,
+                        )
+
+
+def flattened_butterfly_traces(
+    topology: FlattenedButterfly,
+    include_nonminimal: bool = True,
+) -> Iterator[Trace]:
+    """Every DOR route, plus every router-level Valiant route."""
+    for src_router in range(topology.num_routers):
+        for dst_terminal in range(topology.num_terminals):
+            yield fb_walk_route(
+                topology, src_router, dst_terminal, FbRoutePlan(minimal=True)
+            )
+            if not include_nonminimal:
+                continue
+            dst_router = topology.terminal_router(dst_terminal)
+            for mid in range(topology.num_routers):
+                if mid in (src_router, dst_router):
+                    continue
+                yield fb_walk_route(
+                    topology, src_router, dst_terminal,
+                    FbRoutePlan(minimal=False, intermediate_router=mid),
+                )
+
+
+def torus_traces(
+    topology: Torus,
+    include_nonminimal: bool = True,
+) -> Iterator[Trace]:
+    """Every dateline-DOR route, plus every router-level Valiant route."""
+    for src_router in range(topology.num_routers):
+        for dst_terminal in range(topology.num_terminals):
+            yield torus_walk_route(
+                topology, src_router, dst_terminal, TorusRoutePlan(minimal=True)
+            )
+            if not include_nonminimal:
+                continue
+            dst_router = topology.terminal_router(dst_terminal)
+            for mid in range(topology.num_routers):
+                if mid in (src_router, dst_router):
+                    continue
+                yield torus_walk_route(
+                    topology, src_router, dst_terminal,
+                    TorusRoutePlan(minimal=False, intermediate_router=mid),
+                )
+
+
+def folded_clos_traces(topology: FoldedClos) -> Iterator[Trace]:
+    """Every up*/down* route over every possible up-port choice.
+
+    Covers both CLOS-RAND (all up-port tuples are enumerated) and
+    CLOS-DET (whose d-mod-k tuple is one of them).
+    """
+    for src_leaf in range(topology.switches_per_level):
+        src_router = topology.switch_id(0, src_leaf)
+        for dst_terminal in range(topology.num_terminals):
+            dst_leaf = topology.terminal_router(dst_terminal)
+            ancestor = topology.ancestor_level(src_leaf, dst_leaf)
+            for up_ports in itertools.product(
+                range(topology.down), repeat=ancestor
+            ):
+                plan = ClosRoutePlan(
+                    minimal=True, ancestor_level=ancestor, up_ports=up_ports
+                )
+                yield clos_walk_route(topology, src_router, dst_terminal, plan)
+
+
+def max_vc_used(traces: Iterable[Trace]) -> int:
+    """Highest VC index any non-ejection hop of any trace uses."""
+    highest = 0
+    for trace in traces:
+        for _, _, vc in trace[:-1] if trace else []:
+            highest = max(highest, vc)
+    return highest

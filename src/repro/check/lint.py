@@ -1,0 +1,202 @@
+"""Repo-specific AST lint for simulator hygiene (stdlib ``ast`` only).
+
+Three rules, each motivated by a reproducibility or performance property
+of the codebase:
+
+``REP001`` unseeded randomness
+    Calls to the ``random`` *module's* global functions
+    (``random.random()``, ``random.choice()``, ...) are forbidden in
+    ``src/repro``: they draw from interpreter-global state and silently
+    break run-to-run determinism.  All randomness must flow through the
+    seeded :class:`random.Random` instances the simulator owns
+    (constructing ``random.Random``/``random.SystemRandom`` is allowed).
+
+``REP002`` missing ``__slots__`` on hot-path classes
+    The flit/stream classes instantiated per packet per hop must declare
+    ``__slots__`` (directly or via ``@dataclass(slots=True)``): a dict
+    per flit measurably slows the simulator and bloats memory.
+
+``REP003`` no ``print`` in library code
+    Library modules must not print; results flow through return values
+    and the stats pipeline.  CLI entry points (``__main__.py`` modules
+    and the ``check`` package) are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+from .report import Finding, Severity
+
+#: Class names that must carry ``__slots__`` wherever they are defined.
+HOT_PATH_CLASSES = frozenset({"Flit", "Packet", "RoutePlan", "_Stream"})
+
+#: ``random`` module attributes that are legitimate to touch directly.
+ALLOWED_RANDOM_ATTRS = frozenset({"Random", "SystemRandom"})
+
+#: Path fragments (relative, POSIX-style) exempt from the print rule.
+PRINT_EXEMPT_PARTS = ("__main__.py",)
+PRINT_EXEMPT_PACKAGES = ("check",)
+
+
+def _is_dataclass_with_slots(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        func = decorator.func
+        name = (
+            func.id if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute)
+            else None
+        )
+        if name != "dataclass":
+            continue
+        for keyword in decorator.keywords:
+            if (
+                keyword.arg == "slots"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            ):
+                return True
+    return False
+
+
+def _defines_slots(node: ast.ClassDef) -> bool:
+    for statement in node.body:
+        targets: Sequence[ast.expr] = ()
+        if isinstance(statement, ast.Assign):
+            targets = statement.targets
+        elif isinstance(statement, ast.AnnAssign):
+            targets = (statement.target,)
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    return _is_dataclass_with_slots(node)
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: Path, relative: str) -> None:
+        self.path = path
+        self.relative = relative
+        self.findings: List[Finding] = []
+        self._random_aliases: set = set()
+        self._print_exempt = relative.endswith(PRINT_EXEMPT_PARTS) or any(
+            part in PRINT_EXEMPT_PACKAGES for part in Path(relative).parts
+        )
+
+    def _add(self, code: str, node: ast.AST, message: str) -> None:
+        lineno = getattr(node, "lineno", 0)
+        self.findings.append(Finding(
+            code=code,
+            severity=Severity.ERROR,
+            location=f"{self.relative}:{lineno}",
+            message=message,
+        ))
+
+    # -- imports: track what name the random module goes by -------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random":
+                self._random_aliases.add(alias.asname or "random")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name not in ALLOWED_RANDOM_ATTRS:
+                    self._add(
+                        "REP001", node,
+                        f"importing random.{alias.name} pulls unseeded "
+                        "module-global randomness; use a seeded "
+                        "random.Random instance",
+                    )
+        self.generic_visit(node)
+
+    # -- calls: unseeded random + print ----------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self._random_aliases
+            and func.attr not in ALLOWED_RANDOM_ATTRS
+        ):
+            self._add(
+                "REP001", node,
+                f"call to unseeded random.{func.attr}(); route randomness "
+                "through a seeded random.Random instance",
+            )
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "print"
+            and not self._print_exempt
+        ):
+            self._add(
+                "REP003", node,
+                "print() in library code; return data or use the stats "
+                "pipeline (CLI __main__ modules are exempt)",
+            )
+        self.generic_visit(node)
+
+    # -- classes: hot-path __slots__ -------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if node.name in HOT_PATH_CLASSES and not _defines_slots(node):
+            self._add(
+                "REP002", node,
+                f"hot-path class {node.name} must declare __slots__ "
+                "(directly or via @dataclass(slots=True))",
+            )
+        self.generic_visit(node)
+
+
+def lint_file(path: Path, root: Path) -> List[Finding]:
+    """Lint one file; returns findings (a syntax error is itself one)."""
+    relative = path.relative_to(root).as_posix()
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+    except SyntaxError as error:
+        return [Finding(
+            code="REP000",
+            severity=Severity.ERROR,
+            location=f"{relative}:{error.lineno or 0}",
+            message=f"syntax error: {error.msg}",
+        )]
+    linter = _Linter(path, relative)
+    linter.visit(tree)
+    return linter.findings
+
+
+def lint_tree(root: Union[str, Path]) -> List[Finding]:
+    """Lint every Python file under ``root`` (deterministic order)."""
+    root_path = Path(root)
+    if not root_path.is_dir():
+        # A missing root would otherwise lint zero files and gate green.
+        return [Finding(
+            code="REP000",
+            severity=Severity.ERROR,
+            location=str(root_path),
+            message="lint root is not a directory",
+        )]
+    findings: List[Finding] = []
+    for path in sorted(root_path.rglob("*.py")):
+        findings.extend(lint_file(path, root_path))
+    return findings
+
+
+def default_lint_root() -> Path:
+    """The ``src/repro`` tree this installation runs from."""
+    return Path(__file__).resolve().parent.parent
+
+
+def lint_sources(root: Union[str, Path, None] = None) -> List[Finding]:
+    """Entry point used by the CLI: lint the repro package sources."""
+    return lint_tree(default_lint_root() if root is None else root)
+
+
+def iter_findings_by_rule(
+    findings: Iterable[Finding], code: str
+) -> List[Finding]:
+    """Convenience filter used by tests."""
+    return [finding for finding in findings if finding.code == code]

@@ -1,0 +1,213 @@
+"""Registry of certifiable (topology, routing, VC assignment) triples.
+
+``python -m repro.check cdg`` certifies every registered configuration.
+A configuration bundles a topology builder with a route enumerator and
+the VC budget the routing family claims to need; the certifier then
+proves the claim (acyclic CDG) or prints a counterexample cycle.
+
+Registering a new routing algorithm
+-----------------------------------
+Write a trace enumerator that yields every route your algorithm can emit
+(see :mod:`repro.check.cdg` for the existing families), then::
+
+    from repro.check.registry import CheckConfiguration, register
+
+    register(CheckConfiguration(
+        name="mytopo/MYALG@my-vcs",
+        description="my algorithm on my topology",
+        claimed_vcs=2,
+        build=lambda: (topology.fabric, my_traces(topology)),
+    ))
+
+Adaptive algorithms that choose among enumerated candidates (the UGAL
+family chooses between the minimal and Valiant routes) are covered by
+enumerating the union of their candidate route classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Tuple
+
+from ..core.params import DragonflyParams
+from ..routing import vc_assignment as vcs
+from ..topology.base import Fabric
+from ..topology.dragonfly import Dragonfly
+from ..topology.flattened_butterfly import FlattenedButterfly
+from ..topology.folded_clos import FoldedClos
+from ..topology.group_variants import FlattenedButterflyGroupDragonfly
+from ..topology.torus import Torus
+from .cdg import (
+    Trace,
+    dragonfly_traces,
+    flattened_butterfly_traces,
+    folded_clos_traces,
+    torus_traces,
+    variant_traces,
+)
+
+
+@dataclass(frozen=True)
+class CheckConfiguration:
+    """One certifiable configuration.
+
+    ``build`` constructs the topology and returns its fabric together
+    with the (lazily enumerated) route traces; construction is deferred
+    so ``--list`` stays instant.  ``claimed_vcs`` is the VC budget the
+    routing family documents (asserted against the traces by the CLI).
+    ``expect_deadlock_free`` is False only for negative controls kept to
+    demonstrate counterexample extraction.
+    """
+
+    name: str
+    description: str
+    claimed_vcs: int
+    build: Callable[[], Tuple[Fabric, Iterable[Trace]]]
+    expect_deadlock_free: bool = True
+
+
+def _dragonfly(params: DragonflyParams) -> Dragonfly:
+    return Dragonfly(params)
+
+
+def _df_config(
+    name: str,
+    description: str,
+    params: DragonflyParams,
+    assignment: vcs.VcAssignment,
+    include_nonminimal: bool = True,
+    expect_deadlock_free: bool = True,
+) -> CheckConfiguration:
+    def build() -> Tuple[Fabric, Iterable[Trace]]:
+        topology = _dragonfly(params)
+        return topology.fabric, dragonfly_traces(
+            topology, assignment, include_nonminimal
+        )
+
+    return CheckConfiguration(
+        name=name,
+        description=description,
+        claimed_vcs=assignment.num_vcs,
+        build=build,
+        expect_deadlock_free=expect_deadlock_free,
+    )
+
+
+def _variant_config() -> CheckConfiguration:
+    def build() -> Tuple[Fabric, Iterable[Trace]]:
+        topology = FlattenedButterflyGroupDragonfly(p=1, group_dims=(2, 2), h=1)
+        return topology.fabric, variant_traces(topology, vcs.CANONICAL)
+
+    return CheckConfiguration(
+        name="dragonfly-fbgroup/MIN+VAL+UGAL@figure7-3vc",
+        description="2-D flattened-butterfly groups (Figure 6), canonical VCs",
+        claimed_vcs=3,
+        build=build,
+    )
+
+
+def _fb_config() -> CheckConfiguration:
+    def build() -> Tuple[Fabric, Iterable[Trace]]:
+        topology = FlattenedButterfly(dims=(3, 3), concentration=1)
+        return topology.fabric, flattened_butterfly_traces(topology)
+
+    return CheckConfiguration(
+        name="flattened-butterfly/FB-MIN+VAL+UGAL@phase-vcs",
+        description="3x3 flattened butterfly, DOR + router Valiant (2 VCs)",
+        claimed_vcs=2,
+        build=build,
+    )
+
+
+def _torus_config(include_nonminimal: bool) -> CheckConfiguration:
+    claimed = 4 if include_nonminimal else 2
+    suffix = "DOR+VAL" if include_nonminimal else "DOR"
+
+    def build() -> Tuple[Fabric, Iterable[Trace]]:
+        topology = Torus(dims=(4, 4), concentration=1)
+        return topology.fabric, torus_traces(topology, include_nonminimal)
+
+    return CheckConfiguration(
+        name=f"torus/{suffix}@dateline-{claimed}vc",
+        description=f"4x4 torus, dateline dimension-order ({claimed} VCs)",
+        claimed_vcs=claimed,
+        build=build,
+    )
+
+
+def _clos_config() -> CheckConfiguration:
+    def build() -> Tuple[Fabric, Iterable[Trace]]:
+        topology = FoldedClos(num_terminals=8, radix=4)
+        return topology.fabric, folded_clos_traces(topology)
+
+    return CheckConfiguration(
+        name="folded-clos/CLOS-RAND+DET@updown-1vc",
+        description="8-terminal radix-4 folded Clos, all up*/down* routes",
+        claimed_vcs=1,
+        build=build,
+    )
+
+
+def default_configurations() -> List[CheckConfiguration]:
+    """The configurations certified by ``python -m repro.check``."""
+    return [
+        _df_config(
+            "dragonfly/MIN+VAL+UGAL@figure7-3vc",
+            "Figure 5 dragonfly (p=2,a=4,h=2,g=9), canonical 3-VC assignment",
+            DragonflyParams.paper_example_72(),
+            vcs.CANONICAL,
+        ),
+        _df_config(
+            "dragonfly-tiny/MIN+VAL+UGAL@figure7-3vc",
+            "smallest dragonfly (p=1,a=2,h=1,g=3), canonical 3-VC assignment",
+            DragonflyParams(p=1, a=2, h=1),
+            vcs.CANONICAL,
+        ),
+        _df_config(
+            "dragonfly-nonmax/MIN+VAL+UGAL@figure7-3vc",
+            "non-maximal dragonfly (p=1,a=2,h=2,g=3), distributed global links",
+            DragonflyParams(p=1, a=2, h=2, num_groups=3),
+            vcs.CANONICAL,
+        ),
+        _df_config(
+            "dragonfly/MIN@minimal-2vc",
+            "Figure 5 dragonfly, minimal routing only, 2-VC assignment",
+            DragonflyParams.paper_example_72(),
+            vcs.MINIMAL_TWO_VC,
+            include_nonminimal=False,
+        ),
+        _variant_config(),
+        _fb_config(),
+        _torus_config(include_nonminimal=False),
+        _torus_config(include_nonminimal=True),
+        _clos_config(),
+    ]
+
+
+def broken_configuration() -> CheckConfiguration:
+    """The negative control: collapsed 2-VC non-minimal assignment.
+
+    Not part of :func:`default_configurations`; used by tests and by
+    ``python -m repro.check cdg --demo-broken`` to demonstrate
+    counterexample extraction.
+    """
+    return _df_config(
+        "dragonfly/MIN+VAL@collapsed-2vc (negative control)",
+        "Figure 5 dragonfly with the 3-VC assignment collapsed onto 2 VCs",
+        DragonflyParams.paper_example_72(),
+        vcs.COLLAPSED_TWO_VC,
+        expect_deadlock_free=False,
+    )
+
+
+#: Extra configurations registered by extensions (see module docstring).
+_EXTRA: List[CheckConfiguration] = []
+
+
+def register(configuration: CheckConfiguration) -> None:
+    """Add a configuration to the set the CLI certifies."""
+    _EXTRA.append(configuration)
+
+
+def all_configurations() -> List[CheckConfiguration]:
+    return default_configurations() + list(_EXTRA)

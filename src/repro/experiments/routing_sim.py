@@ -250,7 +250,10 @@ class Figure12LatencyHistogram(Experiment):
             experiment_id=self.id,
             title=self.title,
             paper_claim=self.paper_claim,
-            columns=["buffer_depth", "avg_latency", "bin_start", "fraction", "minimal_fraction_in_bin"],
+            columns=[
+                "buffer_depth", "avg_latency", "bin_start", "fraction",
+                "minimal_fraction_in_bin",
+            ],
         )
         for depth in (16, 256):
             config = experiment_config(quick, load=0.25, vc_buffer_depth=depth)

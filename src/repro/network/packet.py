@@ -8,7 +8,7 @@ from typing import Dict, List, Optional, Tuple
 from ..topology.dragonfly import GlobalLink
 
 
-@dataclass
+@dataclass(slots=True)
 class RoutePlan:
     """The per-packet routing decision, fixed at the source router.
 
@@ -29,7 +29,7 @@ class RoutePlan:
         return (self.gc1 is not None) + (self.gc2 is not None)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One network packet.
 
@@ -75,7 +75,7 @@ class Packet:
         return self.plan.minimal
 
 
-@dataclass
+@dataclass(slots=True)
 class Flit:
     """One flow-control unit of a packet.
 
@@ -83,8 +83,9 @@ class Flit:
     defined by the routing executor (for the dragonfly it counts global
     channels crossed).  ``next_progress`` is the value ``progress`` takes
     after the current hop, computed together with the output port.
-    ``upstream`` identifies the (router, out_port, vc) whose credit must
-    be returned when this flit leaves its current buffer.
+    ``upstream`` identifies the (router, out_port, vc, channel_latency)
+    whose credit must be returned -- after the channel latency -- when
+    this flit leaves its current buffer.
     """
 
     packet: Packet
@@ -97,8 +98,8 @@ class Flit:
     out_vc: int = -1
     # Input (port * num_vcs + vc) slot occupied at the current router.
     in_idx: int = -1
-    # Credit return target: (router, out_port, vc) one hop upstream.
-    upstream: Optional[Tuple[int, int, int]] = None
+    # Credit return target: (router, out_port, vc, latency) one hop upstream.
+    upstream: Optional[Tuple[int, int, int, int]] = None
     # Kind of the channel the flit arrived on (None right after injection);
     # the credit-delay mechanism never delays credits that must cross a
     # global channel.

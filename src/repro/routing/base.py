@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import Protocol, Tuple
+from typing import Any, Protocol, Tuple
 
 from ..network.packet import RoutePlan
 from ..topology.dragonfly import Dragonfly
@@ -67,9 +67,9 @@ class RoutingAlgorithm(abc.ABC):
 
     def next_hop(
         self,
-        topology,
+        topology: Any,
         router: int,
-        plan,
+        plan: Any,
         progress: int,
         dst_terminal: int,
     ) -> Tuple[int, int, int]:

@@ -23,10 +23,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..topology.folded_clos import FoldedClos
-from .base import RoutingAlgorithm
+from .base import CongestionView, RoutingAlgorithm
 
 
 @dataclass
@@ -96,7 +96,7 @@ def clos_walk_route(
     src_router: int,
     dst_terminal: int,
     plan: ClosRoutePlan,
-):
+) -> List[Tuple[int, int, int]]:
     """Full (router, port, vc) trace of a plan."""
     trace = []
     router = src_router
@@ -116,10 +116,24 @@ def clos_walk_route(
 class _ClosRouting(RoutingAlgorithm):
     deterministic = False
 
-    def next_hop(self, topology, router, plan, progress, dst_terminal):
+    def next_hop(
+        self,
+        topology: FoldedClos,
+        router: int,
+        plan: ClosRoutePlan,
+        progress: int,
+        dst_terminal: int,
+    ) -> Tuple[int, int, int]:
         return clos_next_hop(topology, router, plan, progress, dst_terminal)
 
-    def decide(self, view, topology, rng, src_router, dst_terminal):
+    def decide(
+        self,
+        view: CongestionView,
+        topology: FoldedClos,
+        rng: random.Random,
+        src_router: int,
+        dst_terminal: int,
+    ) -> ClosRoutePlan:
         return clos_plan(
             topology, rng, src_router, dst_terminal,
             deterministic=self.deterministic,

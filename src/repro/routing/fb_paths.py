@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..topology.flattened_butterfly import FlattenedButterfly
 
@@ -121,7 +121,7 @@ def fb_walk_route(
     src_router: int,
     dst_terminal: int,
     plan: FbRoutePlan,
-):
+) -> List[Tuple[int, int, int]]:
     """Full (router, port, vc) trace of a plan (tests and analytics)."""
     trace = []
     router = src_router

@@ -43,7 +43,14 @@ class FbMinimalRouting(_FbRouting):
 
     name = "FB-MIN"
 
-    def decide(self, view, topology, rng, src_router, dst_terminal):
+    def decide(
+        self,
+        view: CongestionView,
+        topology: FlattenedButterfly,
+        rng: random.Random,
+        src_router: int,
+        dst_terminal: int,
+    ) -> FbRoutePlan:
         return fb_minimal_plan()
 
 
@@ -52,7 +59,14 @@ class FbValiantRouting(_FbRouting):
 
     name = "FB-VAL"
 
-    def decide(self, view, topology, rng, src_router, dst_terminal):
+    def decide(
+        self,
+        view: CongestionView,
+        topology: FlattenedButterfly,
+        rng: random.Random,
+        src_router: int,
+        dst_terminal: int,
+    ) -> FbRoutePlan:
         return fb_valiant_plan(topology, rng, src_router, dst_terminal)
 
 

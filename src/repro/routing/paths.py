@@ -132,34 +132,39 @@ def next_hop(
     plan: RoutePlan,
     global_hops_taken: int,
     dst_terminal: int,
+    assignment: vcs.VcAssignment = vcs.CANONICAL,
 ) -> Tuple[int, int]:
     """(output port, VC) for a flit of this plan at ``router``.
 
     ``global_hops_taken`` tracks route progress; ejection returns the
-    destination's terminal port with VC 0.
+    destination's terminal port with VC 0.  ``assignment`` selects the VC
+    assignment; the default is the canonical Figure 7 assignment.  The
+    static certifier (:mod:`repro.check.cdg`) re-executes routes through
+    this very function with candidate assignments, so what it certifies
+    is the code path the simulator runs.
     """
     minimal = plan.minimal
     if plan.gc1 is not None and global_hops_taken == 0:
         link = plan.gc1
         if router == link.src_router:
-            return link.src_port, vcs.global_vc(minimal, 0)
+            return link.src_port, assignment.global_vc(minimal, 0)
         return (
             topology.local_port(router, link.src_router),
-            vcs.local_vc(minimal, 0),
+            assignment.local_vc(minimal, 0),
         )
     if plan.gc2 is not None and global_hops_taken == 1:
         link = plan.gc2
         if router == link.src_router:
-            return link.src_port, vcs.global_vc(minimal, 1)
+            return link.src_port, assignment.global_vc(minimal, 1)
         return (
             topology.local_port(router, link.src_router),
-            vcs.local_vc(minimal, 1),
+            assignment.local_vc(minimal, 1),
         )
     dst_router = topology.terminal_router(dst_terminal)
     if router == dst_router:
         return topology.terminal_port(dst_terminal), 0
     # Final local hop (also the only hop of intra-group routes): highest VC.
-    return topology.local_port(router, dst_router), vcs.FINAL_LOCAL_VC
+    return topology.local_port(router, dst_router), assignment.final_local_vc
 
 
 def walk_route(
@@ -167,16 +172,20 @@ def walk_route(
     src_router: int,
     dst_terminal: int,
     plan: RoutePlan,
+    assignment: vcs.VcAssignment = vcs.CANONICAL,
 ) -> List[Tuple[int, int, int]]:
     """Full (router, out_port, vc) trace of a plan, ending at ejection.
 
-    Used by tests and analytics; the simulator executes hops lazily.
+    Used by tests, analytics and the static certifier; the simulator
+    executes hops lazily.
     """
     trace = []
     router = src_router
     global_hops = 0
     for _ in range(2 * 5 + 2):  # generous bound; routes have <= 5 hops
-        port, vc = next_hop(topology, router, plan, global_hops, dst_terminal)
+        port, vc = next_hop(
+            topology, router, plan, global_hops, dst_terminal, assignment
+        )
         trace.append((router, port, vc))
         if topology.is_terminal_port(port):
             return trace

@@ -18,10 +18,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..topology.torus import Torus
-from .base import RoutingAlgorithm
+from .base import CongestionView, RoutingAlgorithm
 
 
 @dataclass
@@ -112,7 +112,7 @@ def torus_walk_route(
     src_router: int,
     dst_terminal: int,
     plan: TorusRoutePlan,
-):
+) -> List[Tuple[int, int, int]]:
     """Full (router, port, vc) trace of a plan."""
     trace = []
     router = src_router
@@ -131,7 +131,14 @@ def torus_walk_route(
 
 
 class _TorusRouting(RoutingAlgorithm):
-    def next_hop(self, topology, router, plan, progress, dst_terminal):
+    def next_hop(
+        self,
+        topology: Torus,
+        router: int,
+        plan: TorusRoutePlan,
+        progress: int,
+        dst_terminal: int,
+    ) -> Tuple[int, int, int]:
         return torus_next_hop(topology, router, plan, progress, dst_terminal)
 
 
@@ -140,7 +147,14 @@ class TorusMinimalRouting(_TorusRouting):
 
     name = "TORUS-DOR"
 
-    def decide(self, view, topology, rng, src_router, dst_terminal):
+    def decide(
+        self,
+        view: CongestionView,
+        topology: Torus,
+        rng: random.Random,
+        src_router: int,
+        dst_terminal: int,
+    ) -> TorusRoutePlan:
         return torus_minimal_plan()
 
 
@@ -149,7 +163,14 @@ class TorusValiantRouting(_TorusRouting):
 
     name = "TORUS-VAL"
 
-    def decide(self, view, topology, rng, src_router, dst_terminal):
+    def decide(
+        self,
+        view: CongestionView,
+        topology: Torus,
+        rng: random.Random,
+        src_router: int,
+        dst_terminal: int,
+    ) -> TorusRoutePlan:
         return torus_valiant_plan(topology, rng, src_router, dst_terminal)
 
 

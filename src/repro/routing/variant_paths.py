@@ -139,23 +139,32 @@ def variant_next_hop(
     plan: RoutePlan,
     progress: int,
     dst_terminal: int,
+    assignment: vcs.VcAssignment = vcs.CANONICAL,
 ) -> Tuple[int, int, int]:
     """(out_port, out_vc, next_progress); progress = global hops taken."""
     minimal = plan.minimal
     if plan.gc1 is not None and progress == 0:
         link = plan.gc1
         if router == link.src_router:
-            return link.src_port, vcs.global_vc(minimal, 0), progress + 1
-        return _dor_port(topology, router, link.src_router), vcs.local_vc(minimal, 0), progress
+            return link.src_port, assignment.global_vc(minimal, 0), progress + 1
+        return (
+            _dor_port(topology, router, link.src_router),
+            assignment.local_vc(minimal, 0),
+            progress,
+        )
     if plan.gc2 is not None and progress == 1:
         link = plan.gc2
         if router == link.src_router:
-            return link.src_port, vcs.global_vc(minimal, 1), progress + 1
-        return _dor_port(topology, router, link.src_router), vcs.local_vc(minimal, 1), progress
+            return link.src_port, assignment.global_vc(minimal, 1), progress + 1
+        return (
+            _dor_port(topology, router, link.src_router),
+            assignment.local_vc(minimal, 1),
+            progress,
+        )
     dst_router = topology.terminal_router(dst_terminal)
     if router == dst_router:
         return topology.terminal_port(dst_terminal), 0, progress
-    return _dor_port(topology, router, dst_router), vcs.FINAL_LOCAL_VC, progress
+    return _dor_port(topology, router, dst_router), assignment.final_local_vc, progress
 
 
 def variant_walk_route(
@@ -163,7 +172,8 @@ def variant_walk_route(
     src_router: int,
     dst_terminal: int,
     plan: RoutePlan,
-):
+    assignment: vcs.VcAssignment = vcs.CANONICAL,
+) -> List[Tuple[int, int, int]]:
     """Full (router, port, vc) trace of a plan."""
     trace = []
     router = src_router
@@ -171,7 +181,7 @@ def variant_walk_route(
     bound = 3 * len(topology.group_dims) + 2 + 2
     for _ in range(bound * 2):
         port, vc, progress = variant_next_hop(
-            topology, router, plan, progress, dst_terminal
+            topology, router, plan, progress, dst_terminal, assignment
         )
         trace.append((router, port, vc))
         channel = topology.fabric.out_channel(router, port)

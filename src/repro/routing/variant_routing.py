@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import random
+from typing import Tuple
 
 from ..network.packet import RoutePlan
 from ..topology.group_variants import FlattenedButterflyGroupDragonfly
@@ -16,21 +17,42 @@ from .variant_paths import (
 
 
 class _VariantRouting(RoutingAlgorithm):
-    def next_hop(self, topology, router, plan, progress, dst_terminal):
+    def next_hop(
+        self,
+        topology: FlattenedButterflyGroupDragonfly,
+        router: int,
+        plan: RoutePlan,
+        progress: int,
+        dst_terminal: int,
+    ) -> Tuple[int, int, int]:
         return variant_next_hop(topology, router, plan, progress, dst_terminal)
 
 
 class VariantMinimalRouting(_VariantRouting):
     name = "VAR-MIN"
 
-    def decide(self, view, topology, rng, src_router, dst_terminal):
+    def decide(
+        self,
+        view: CongestionView,
+        topology: FlattenedButterflyGroupDragonfly,
+        rng: random.Random,
+        src_router: int,
+        dst_terminal: int,
+    ) -> RoutePlan:
         return variant_minimal_plan(topology, rng, src_router, dst_terminal)
 
 
 class VariantValiantRouting(_VariantRouting):
     name = "VAR-VAL"
 
-    def decide(self, view, topology, rng, src_router, dst_terminal):
+    def decide(
+        self,
+        view: CongestionView,
+        topology: FlattenedButterflyGroupDragonfly,
+        rng: random.Random,
+        src_router: int,
+        dst_terminal: int,
+    ) -> RoutePlan:
         return variant_valiant_plan(topology, rng, src_router, dst_terminal)
 
 

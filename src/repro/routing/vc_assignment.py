@@ -16,10 +16,18 @@ Stages and VCs::
 
     minimal      local(Gs)=1   global=1                local(Gd)=2
     non-minimal  local(Gs)=0   global=0   local(Gi)=1   global=1   local(Gd)=2
+
+Assignments are first-class :class:`VcAssignment` values so that the
+static certifier in :mod:`repro.check.cdg` can enumerate the concrete
+channel-dependency graph a candidate assignment induces on a real
+topology and prove (or refute) its deadlock freedom.  The module-level
+constants and functions describe the canonical Figure 7 assignment and
+are kept for the routing executors' hot path.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Tuple
 
 import networkx as nx
@@ -36,62 +44,181 @@ FINAL_LOCAL_VC = 2
 INTERMEDIATE_VC = 1
 
 
+@dataclass(frozen=True)
+class VcAssignment:
+    """A dragonfly VC assignment as data.
+
+    The assignment is fully determined by four VC indices -- one per
+    route stage of Figure 7 -- plus whether non-minimal routes are
+    admitted at all.  The canonical paper assignment is
+    :data:`CANONICAL`; :data:`MINIMAL_TWO_VC` is the two-VC assignment
+    that is deadlock-free when only minimal routes exist, and
+    :data:`COLLAPSED_TWO_VC` is a deliberately broken two-VC assignment
+    (non-minimal stages collapsed onto two VCs) kept as the certifier's
+    negative control: its channel-dependency graph is cyclic.
+    """
+
+    name: str
+    num_vcs: int
+    #: VC of the first local hop and the (first) global hop of a minimal
+    #: route.
+    minimal_first_vc: int
+    #: VC of the first local hop and first global hop of a Valiant route.
+    nonminimal_first_vc: int
+    #: VC of intermediate-group local hops and the second global hop.
+    intermediate_vc: int
+    #: VC of local hops inside the destination group.
+    final_local_vc: int
+    #: Whether non-minimal (Valiant/UGAL) routes are part of the route
+    #: class this assignment serves.
+    supports_nonminimal: bool = True
+
+    def __post_init__(self) -> None:
+        vcs = (
+            self.minimal_first_vc,
+            self.nonminimal_first_vc,
+            self.intermediate_vc,
+            self.final_local_vc,
+        )
+        if any(vc < 0 or vc >= self.num_vcs for vc in vcs):
+            raise ValueError(
+                f"assignment {self.name!r} uses VCs outside [0, {self.num_vcs})"
+            )
+
+    # -- per-hop queries (mirrors of the module-level functions) --------
+    def local_vc(self, minimal: bool, global_hops_taken: int) -> int:
+        """VC for a local-channel hop at the given route progress."""
+        if minimal:
+            return (
+                self.minimal_first_vc
+                if global_hops_taken == 0
+                else self.final_local_vc
+            )
+        if global_hops_taken == 0:
+            return self.nonminimal_first_vc
+        if global_hops_taken == 1:
+            return self.intermediate_vc
+        return self.final_local_vc
+
+    def global_vc(self, minimal: bool, global_hops_taken: int) -> int:
+        """VC for a global-channel hop at the given route progress."""
+        if minimal:
+            return self.minimal_first_vc
+        return (
+            self.nonminimal_first_vc
+            if global_hops_taken == 0
+            else self.intermediate_vc
+        )
+
+    # -- abstract channel-class analysis --------------------------------
+    def vc_sequences(self) -> List[List[Tuple[str, int]]]:
+        """All (channel-class, VC) sequences routes can produce.
+
+        Every realisable route is a subsequence of one of these
+        full-length sequences (hops are skipped when the packet is
+        already at the right router).
+        """
+        minimal = [
+            ("local", self.minimal_first_vc),
+            ("global", self.minimal_first_vc),
+            ("local", self.final_local_vc),
+        ]
+        if not self.supports_nonminimal:
+            return [minimal]
+        nonminimal = [
+            ("local", self.nonminimal_first_vc),
+            ("global", self.nonminimal_first_vc),
+            ("local", self.intermediate_vc),
+            ("global", self.intermediate_vc),
+            ("local", self.final_local_vc),
+        ]
+        return [minimal, nonminimal]
+
+    def channel_dependency_graph(self) -> nx.DiGraph:
+        """Abstract channel-class dependency graph of the assignment.
+
+        Nodes are (channel-class, VC) pairs; an edge A -> B means some
+        route holds a buffer of class A while requesting one of class B.
+        Deadlock freedom of the assignment (over *any* dragonfly, since
+        local and global channels of the same class are interchangeable
+        at this abstraction) is equivalent to this graph being acyclic.
+        The concrete per-channel proof lives in :mod:`repro.check.cdg`.
+        """
+        graph = nx.DiGraph()
+        for sequence in self.vc_sequences():
+            # Any contiguous *subsequence* is realisable (hops may be
+            # skipped), so add edges between every ordered pair, not just
+            # adjacent hops.
+            # A stage revisiting an earlier (class, VC) pair produces a
+            # self-loop, which networkx counts as a cycle -- exactly right.
+            for i in range(len(sequence)):
+                for j in range(i + 1, len(sequence)):
+                    graph.add_edge(sequence[i], sequence[j])
+        return graph
+
+    def is_deadlock_free(self) -> bool:
+        """True when the abstract channel-class graph is acyclic."""
+        return nx.is_directed_acyclic_graph(self.channel_dependency_graph())
+
+
+#: The canonical Figure 7 assignment: 3 VCs, non-minimal admitted.
+CANONICAL = VcAssignment(
+    name="figure7-3vc",
+    num_vcs=NUM_VCS_REQUIRED,
+    minimal_first_vc=MINIMAL_FIRST_VC,
+    nonminimal_first_vc=NONMINIMAL_FIRST_VC,
+    intermediate_vc=INTERMEDIATE_VC,
+    final_local_vc=FINAL_LOCAL_VC,
+)
+
+#: Two VCs suffice when only minimal routes exist: the VC index strictly
+#: increases from the source-group stage to the destination-group stage.
+MINIMAL_TWO_VC = VcAssignment(
+    name="minimal-2vc",
+    num_vcs=2,
+    minimal_first_vc=0,
+    nonminimal_first_vc=0,
+    intermediate_vc=0,
+    final_local_vc=1,
+    supports_nonminimal=False,
+)
+
+#: Negative control: the 3-VC non-minimal assignment naively collapsed
+#: onto 2 VCs (``vc -> min(vc, 1)``).  The destination-group local stage
+#: then shares VC1 with the source-group stage of minimal routes, closing
+#: a cycle local -> global -> local -> global -> local across any pair of
+#: groups.  The certifier must *refute* this assignment with a concrete
+#: counterexample cycle.
+COLLAPSED_TWO_VC = VcAssignment(
+    name="collapsed-2vc",
+    num_vcs=2,
+    minimal_first_vc=1,
+    nonminimal_first_vc=0,
+    intermediate_vc=1,
+    final_local_vc=1,
+)
+
+
 def local_vc(minimal: bool, global_hops_taken: int) -> int:
     """VC for a local-channel hop at the given route progress."""
-    if minimal:
-        return MINIMAL_FIRST_VC if global_hops_taken == 0 else FINAL_LOCAL_VC
-    if global_hops_taken == 0:
-        return NONMINIMAL_FIRST_VC
-    if global_hops_taken == 1:
-        return INTERMEDIATE_VC
-    return FINAL_LOCAL_VC
+    return CANONICAL.local_vc(minimal, global_hops_taken)
 
 
 def global_vc(minimal: bool, global_hops_taken: int) -> int:
     """VC for a global-channel hop at the given route progress."""
-    if minimal:
-        return MINIMAL_FIRST_VC
-    return NONMINIMAL_FIRST_VC if global_hops_taken == 0 else INTERMEDIATE_VC
+    return CANONICAL.global_vc(minimal, global_hops_taken)
 
 
 def vc_sequences() -> List[List[Tuple[str, int]]]:
-    """All (channel-class, VC) sequences routes can produce.
-
-    Used by the deadlock property test: every realisable route is a
-    subsequence of one of these full-length sequences (hops are skipped
-    when the packet is already at the right router).
-    """
-    minimal = [("local", 1), ("global", 1), ("local", 2)]
-    nonminimal = [
-        ("local", 0),
-        ("global", 0),
-        ("local", 1),
-        ("global", 1),
-        ("local", 2),
-    ]
-    return [minimal, nonminimal]
+    """All (channel-class, VC) sequences of the canonical assignment."""
+    return CANONICAL.vc_sequences()
 
 
 def channel_dependency_graph() -> nx.DiGraph:
-    """Abstract channel-class dependency graph of the VC assignment.
-
-    Nodes are (channel-class, VC) pairs; an edge A -> B means some route
-    holds a buffer of class A while requesting one of class B.  Deadlock
-    freedom of the assignment (over *any* dragonfly, since local and
-    global channels of the same class are interchangeable at this
-    abstraction) is equivalent to this graph being acyclic -- asserted by
-    ``tests/routing/test_vc_assignment.py``.
-    """
-    graph = nx.DiGraph()
-    for sequence in vc_sequences():
-        # Any contiguous *subsequence* is realisable (hops may be skipped),
-        # so add edges between every ordered pair, not just adjacent hops.
-        for i in range(len(sequence)):
-            for j in range(i + 1, len(sequence)):
-                graph.add_edge(sequence[i], sequence[j])
-    return graph
+    """Abstract channel-class dependency graph of the canonical assignment."""
+    return CANONICAL.channel_dependency_graph()
 
 
 def is_deadlock_free() -> bool:
-    """True when the channel-class dependency graph is acyclic."""
-    return nx.is_directed_acyclic_graph(channel_dependency_graph())
+    """True when the canonical channel-class graph is acyclic."""
+    return CANONICAL.is_deadlock_free()

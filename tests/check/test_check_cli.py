@@ -1,0 +1,108 @@
+"""Tests for the ``python -m repro.check`` command-line gate."""
+
+import dataclasses
+
+import pytest
+
+from repro.check.__main__ import main, run_cdg_pass
+from repro.check.registry import broken_configuration
+from repro.check.report import (
+    CheckReport,
+    Finding,
+    Severity,
+    combined_exit_code,
+)
+
+
+class TestExitCodes:
+    def test_lint_and_invariants_pass_on_shipped_tree(self, capsys):
+        assert main(["lint", "invariants"]) == 0
+        out = capsys.readouterr().out
+        assert "[lint] ok" in out
+        assert "[invariants] ok" in out
+        assert "all passes clean" in out
+
+    def test_unknown_pass_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cdg", "nonsense"])
+        assert excinfo.value.code == 2
+        assert "unknown pass" in capsys.readouterr().err
+
+    def test_list_shows_configurations(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "dragonfly/MIN+VAL+UGAL@figure7-3vc" in out
+        assert "dragonfly-paper72" in out
+
+
+class TestCdgGate:
+    def test_broken_assignment_fails_the_gate_with_counterexample(
+        self, monkeypatch, capsys
+    ):
+        """A configuration that *claims* deadlock freedom but has a
+        cyclic CDG must exit nonzero and print the cycle."""
+        lying = dataclasses.replace(
+            broken_configuration(), expect_deadlock_free=True
+        )
+        monkeypatch.setattr(
+            "repro.check.__main__.all_configurations", lambda: [lying]
+        )
+        assert main(["cdg"]) == 1
+        out = capsys.readouterr().out
+        assert "CDG001" in out
+        assert "CYCLIC" in out or "counterexample" in out
+        assert "waits for" in out
+        assert "FAILED" in out
+
+    def test_demo_broken_reports_cycle_without_failing(self, monkeypatch, capsys):
+        """The documented negative control is evidence, not a failure."""
+        monkeypatch.setattr(
+            "repro.check.__main__.all_configurations", lambda: []
+        )
+        assert main(["cdg", "--demo-broken", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "CDG002" in out
+        assert "expected counterexample" in out
+
+    def test_rotted_negative_control_is_an_error(self, monkeypatch):
+        """If the negative control certifies clean, the demo has rotted
+        and the gate must say so."""
+        # A config that IS deadlock-free while claiming to deadlock.
+        from repro.check.registry import default_configurations
+
+        good = default_configurations()[0]
+        rotted = dataclasses.replace(good, expect_deadlock_free=False)
+        monkeypatch.setattr(
+            "repro.check.__main__.all_configurations", lambda: [rotted]
+        )
+        report = run_cdg_pass()
+        assert not report.ok
+        assert any(f.code == "CDG003" for f in report.errors)
+
+
+class TestReportPlumbing:
+    def test_combined_exit_code(self):
+        clean = CheckReport(pass_name="a")
+        dirty = CheckReport(
+            pass_name="b",
+            findings=[Finding("X001", Severity.ERROR, "somewhere", "boom")],
+        )
+        assert combined_exit_code([clean]) == 0
+        assert combined_exit_code([clean, dirty]) == 1
+
+    def test_warnings_do_not_gate(self):
+        report = CheckReport(
+            pass_name="w",
+            findings=[Finding("X002", Severity.WARNING, "somewhere", "eh")],
+        )
+        assert report.ok
+        assert combined_exit_code([report]) == 0
+        assert "warning" in report.format()
+
+    def test_verbose_format_includes_notes_and_infos(self):
+        report = CheckReport(pass_name="v")
+        report.note("analysed 3 things")
+        report.add("X003", Severity.INFO, "somewhere", "fyi")
+        assert "analysed 3 things" in report.format(verbose=True)
+        assert "fyi" in report.format(verbose=True)
+        assert "fyi" not in report.format(verbose=False)

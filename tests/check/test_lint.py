@@ -1,0 +1,131 @@
+"""Tests for the repo-specific AST lint (REP001/REP002/REP003)."""
+
+import textwrap
+
+from repro.check.lint import (
+    default_lint_root,
+    iter_findings_by_rule,
+    lint_sources,
+    lint_tree,
+)
+
+
+def lint_snippet(tmp_path, source, name="module.py"):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return lint_tree(tmp_path)
+
+
+class TestUnseededRandom:
+    def test_module_level_call_is_flagged(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import random
+            x = random.random()
+        """)
+        rep001 = iter_findings_by_rule(findings, "REP001")
+        assert len(rep001) == 1
+        assert rep001[0].location == "module.py:3"
+
+    def test_aliased_import_is_tracked(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import random as rnd
+            rnd.shuffle([1, 2, 3])
+        """)
+        assert iter_findings_by_rule(findings, "REP001")
+
+    def test_from_import_of_global_function_is_flagged(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            from random import choice
+        """)
+        assert iter_findings_by_rule(findings, "REP001")
+
+    def test_seeded_random_instance_is_allowed(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import random
+            from random import Random
+            rng = random.Random(42)
+            value = rng.random()
+        """)
+        assert not iter_findings_by_rule(findings, "REP001")
+
+
+class TestHotPathSlots:
+    def test_bare_hot_path_class_is_flagged(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            class Flit:
+                pass
+        """)
+        assert iter_findings_by_rule(findings, "REP002")
+
+    def test_explicit_slots_satisfy_the_rule(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            class Packet:
+                __slots__ = ("a", "b")
+        """)
+        assert not iter_findings_by_rule(findings, "REP002")
+
+    def test_dataclass_slots_satisfy_the_rule(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            from dataclasses import dataclass
+
+            @dataclass(slots=True)
+            class RoutePlan:
+                minimal: bool
+        """)
+        assert not iter_findings_by_rule(findings, "REP002")
+
+    def test_unlisted_class_is_ignored(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            class SimulationResult:
+                pass
+        """)
+        assert not iter_findings_by_rule(findings, "REP002")
+
+
+class TestPrintRule:
+    def test_print_in_library_module_is_flagged(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            print("debug")
+        """)
+        assert iter_findings_by_rule(findings, "REP003")
+
+    def test_main_modules_are_exempt(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            print("cli output")
+        """, name="__main__.py")
+        assert not iter_findings_by_rule(findings, "REP003")
+
+    def test_check_package_is_exempt(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            print("report")
+        """, name="check/report_writer.py")
+        assert not iter_findings_by_rule(findings, "REP003")
+
+
+class TestTreeWalk:
+    def test_syntax_error_is_a_finding_not_a_crash(self, tmp_path):
+        findings = lint_snippet(tmp_path, "def broken(:\n")
+        rep000 = iter_findings_by_rule(findings, "REP000")
+        assert len(rep000) == 1
+
+    def test_missing_root_is_an_error_not_a_green_gate(self, tmp_path):
+        findings = lint_tree(tmp_path / "no-such-dir")
+        rep000 = iter_findings_by_rule(findings, "REP000")
+        assert len(rep000) == 1
+        assert "not a directory" in rep000[0].message
+
+    def test_findings_are_ordered_by_path(self, tmp_path):
+        (tmp_path / "b.py").write_text("import random\nrandom.random()\n")
+        (tmp_path / "a.py").write_text("import random\nrandom.random()\n")
+        findings = lint_tree(tmp_path)
+        assert [f.location for f in findings] == ["a.py:2", "b.py:2"]
+
+
+class TestShippedSourcesAreClean:
+    def test_src_repro_has_no_findings(self):
+        findings = lint_sources()
+        assert findings == [], [f.format() for f in findings]
+
+    def test_default_root_is_the_repro_package(self):
+        assert default_lint_root().name == "repro"
