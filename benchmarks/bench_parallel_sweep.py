@@ -1,0 +1,94 @@
+"""Parallel sweep engine: wall-clock speedup with bit-identical results.
+
+Times a Figure 8-sized load sweep (the 72-node dragonfly, UGAL-L,
+uniform-random traffic, the quick-mode load grid) three ways:
+
+1. serial (the historical single-process path),
+2. parallel with 4 workers (``SweepExecutor(workers=4)``),
+3. a cached re-run answered entirely from the on-disk result cache.
+
+Asserts the three produce byte-identical statistics, and -- on machines
+with >= 4 CPUs, where the process pool can actually run 4-wide -- that
+the parallel run is at least 2x faster than serial.  The cached re-run
+is faster still by orders of magnitude regardless of core count.
+"""
+
+import json
+import os
+import time
+
+from repro.experiments.base import (
+    experiment_config,
+    experiment_topology,
+    uniform_loads,
+)
+from repro.network.cache import SweepCache
+from repro.network.parallel import SweepExecutor
+from repro.network.sweep import load_sweep
+
+ROUTING = "UGAL-L"
+PATTERN = "uniform_random"
+WORKERS = 4
+
+
+def _sweep_bytes(points):
+    """Canonical byte string of a sweep's full statistics."""
+    return json.dumps(
+        [point.result.to_dict() for point in points], sort_keys=True
+    ).encode()
+
+
+def test_parallel_sweep_speedup(report, tmp_path):
+    topology = experiment_topology(quick=True)
+    loads = uniform_loads(quick=True)
+    config = experiment_config(quick=True)
+
+    start = time.perf_counter()
+    serial = load_sweep(topology, ROUTING, PATTERN, loads, config)
+    t_serial = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = load_sweep(
+        topology, ROUTING, PATTERN, loads, config,
+        executor=SweepExecutor(workers=WORKERS),
+    )
+    t_parallel = time.perf_counter() - start
+
+    cached_executor = SweepExecutor(cache=SweepCache(tmp_path / "cache"))
+    load_sweep(topology, ROUTING, PATTERN, loads, config, executor=cached_executor)
+    start = time.perf_counter()
+    cached = load_sweep(
+        topology, ROUTING, PATTERN, loads, config, executor=cached_executor
+    )
+    t_cached = time.perf_counter() - start
+
+    serial_bytes = _sweep_bytes(serial)
+    assert _sweep_bytes(parallel) == serial_bytes, "parallel stats diverged"
+    assert _sweep_bytes(cached) == serial_bytes, "cached stats diverged"
+    assert cached_executor.stats["cached"] == len(loads)
+
+    cpus = os.cpu_count() or 1
+    speedup = t_serial / t_parallel if t_parallel else float("inf")
+    cache_speedup = t_serial / t_cached if t_cached else float("inf")
+    report(
+        "parallel_sweep",
+        "\n".join(
+            [
+                "== bench_parallel_sweep: Fig. 8-sized sweep "
+                f"({ROUTING}, {PATTERN}, {len(loads)} loads, {cpus} CPUs)",
+                f"   serial           {t_serial:8.2f} s",
+                f"   {WORKERS} workers        {t_parallel:8.2f} s"
+                f"  ({speedup:5.2f}x)",
+                f"   cached re-run    {t_cached:8.4f} s"
+                f"  ({cache_speedup:8.1f}x)",
+                "   stats byte-identical across all three runs",
+            ]
+        ),
+    )
+
+    assert cache_speedup >= 2.0, "cached re-run must dominate serial"
+    if cpus >= WORKERS:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup at {WORKERS} workers on {cpus} CPUs, "
+            f"measured {speedup:.2f}x"
+        )

@@ -4,8 +4,22 @@ Every benchmark regenerates one table/figure of the paper via the
 experiment registry, times it with pytest-benchmark, prints the rows
 (bypassing capture so they land in the console / tee'd log), and saves
 them under ``benchmarks/results/`` for the record.
+
+The experiment runners execute their sweeps through
+``repro.experiments.base.experiment_executor``, so the figure
+benchmarks (``bench_fig08`` .. ``bench_fig16``) parallelise and cache
+transparently:
+
+* ``REPRO_SWEEP_WORKERS=4`` fans each figure's sweep grid over 4
+  worker processes (``auto`` = CPU count);
+* ``REPRO_SWEEP_CACHE=benchmarks/.sweep-cache`` makes re-runs skip
+  every already-simulated point.
+
+Results are bit-identical whichever combination is active (see
+docs/parallel-sweeps.md); the archived row files record which one was.
 """
 
+import os
 import pathlib
 
 import pytest
@@ -33,12 +47,18 @@ def run_experiment(benchmark, report):
 
     def _run(experiment_id: str, quick: bool = True):
         from repro.experiments import get_experiment
+        from repro.network.cache import CACHE_ENV_VAR
+        from repro.network.parallel import WORKERS_ENV_VAR
 
         experiment = get_experiment(experiment_id)
         result = benchmark.pedantic(
             lambda: experiment.run(quick=quick), rounds=1, iterations=1
         )
-        report(experiment_id, result.format_table())
+        executor_note = (
+            f"   sweep executor: workers={os.environ.get(WORKERS_ENV_VAR, '1')} "
+            f"cache={os.environ.get(CACHE_ENV_VAR) or 'off'}"
+        )
+        report(experiment_id, result.format_table() + "\n" + executor_note)
         return result
 
     return _run

@@ -8,6 +8,8 @@ Public API highlights:
   the paper's new UGAL-L_VCH and UGAL-L_CR indirect adaptive variants.
 * :class:`repro.Simulator` / :func:`repro.load_sweep` -- cycle-accurate
   evaluation under synthetic traffic.
+* :class:`repro.SweepExecutor` / :class:`repro.SweepCache` -- parallel
+  sweep execution and on-disk result caching with bit-identical output.
 * :mod:`repro.cost` -- the technology-driven cable/packaging cost model.
 * :mod:`repro.experiments` -- one entry per paper table and figure.
 """
@@ -17,6 +19,8 @@ from .network import (
     SimulationConfig,
     SimulationResult,
     Simulator,
+    SweepCache,
+    SweepExecutor,
     load_sweep,
     make_pattern,
     saturation_load,
@@ -40,6 +44,8 @@ __all__ = [
     "SimulationConfig",
     "SimulationResult",
     "Simulator",
+    "SweepCache",
+    "SweepExecutor",
     "load_sweep",
     "make_pattern",
     "saturation_load",

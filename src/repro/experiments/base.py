@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Sequence
 
 from ..core.params import DragonflyParams
 from ..network.config import SimulationConfig
+from ..network.parallel import SweepExecutor
 from ..topology.dragonfly import Dragonfly
 
 
@@ -139,6 +140,18 @@ def experiment_config(
         drain_max_cycles=40_000,
         vc_buffer_depth=vc_buffer_depth,
     )
+
+
+def experiment_executor() -> SweepExecutor:
+    """The sweep executor the experiment runners use.
+
+    Configured entirely from the environment so figure scripts and
+    benchmarks gain parallelism (``REPRO_SWEEP_WORKERS``) and on-disk
+    result caching (``REPRO_SWEEP_CACHE``) without code changes; the
+    default is serial and uncached, matching the historical behaviour
+    point for point.
+    """
+    return SweepExecutor.from_env()
 
 
 def uniform_loads(quick: bool = True) -> Sequence[float]:

@@ -28,7 +28,7 @@ from ..routing.fb_routing import make_fb_routing
 from ..topology.base import ChannelKind
 from ..topology.dragonfly import Dragonfly
 from ..topology.flattened_butterfly import FlattenedButterfly
-from .base import Experiment, ExperimentResult, register
+from .base import Experiment, ExperimentResult, experiment_executor, register
 
 
 @register
@@ -418,11 +418,13 @@ class SaturationTable(Experiment):
             ("UGAL-L_VCH", "worst_case",
              ugal_ideal_worst_case_throughput(params), 120.0),
         ]
+        executor = experiment_executor()
         for routing_name, pattern_name, bound, latency_limit in cases:
             measured = saturation_load(
                 topology, routing_name, pattern_name, config,
                 low=0.02, high=0.6 if pattern_name == "worst_case" else 1.0,
                 tolerance=0.03, latency_limit=latency_limit,
+                executor=executor,
             )
             result.rows.append(
                 {

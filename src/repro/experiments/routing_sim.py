@@ -9,16 +9,18 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..network.sweep import run_point
+from ..network.config import SimulationConfig
+
+from ..network.parallel import PointSpec, SweepExecutor
 from ..network.stats import SimulationResult
-from ..routing.ugal import make_routing
 from ..topology.dragonfly import Dragonfly
 from .base import (
     Experiment,
     ExperimentResult,
     experiment_config,
+    experiment_executor,
     experiment_topology,
     register,
     uniform_loads,
@@ -37,13 +39,30 @@ def _sweep_rows(
     loads: Sequence[float],
     quick: bool,
     vc_buffer_depth: int = 16,
+    executor: Optional[SweepExecutor] = None,
 ) -> List[Dict[str, object]]:
+    """One row per load, one column pair per routing algorithm.
+
+    The whole (load x routing) grid is fanned out through the executor
+    in a single batch, so every point of a figure runs concurrently when
+    workers are available and hits the result cache on re-runs.
+    """
+    executor = executor or experiment_executor()
+    specs = [
+        PointSpec(
+            name,
+            pattern,
+            experiment_config(quick, load=load, vc_buffer_depth=vc_buffer_depth),
+        )
+        for load in loads
+        for name in routing_names
+    ]
+    results = iter(executor.run_points(topology, specs))
     rows: List[Dict[str, object]] = []
     for load in loads:
         row: Dict[str, object] = {"load": load}
         for name in routing_names:
-            config = experiment_config(quick, load=load, vc_buffer_depth=vc_buffer_depth)
-            result = run_point(topology, make_routing(name), pattern, config)
+            result = next(results)
             row[name] = _latency(result)
             row[f"{name}:accepted"] = result.accepted_load
         rows.append(row)
@@ -127,9 +146,10 @@ class Figure9ChannelUtilization(Experiment):
         others = [
             link for link in all_links if link.src_router != min_link.src_router
         ]
+        executor = experiment_executor()
         for name in ("UGAL-L", "UGAL-G"):
             config = experiment_config(quick, load=0.2)
-            run = run_point(topology, make_routing(name), "worst_case", config)
+            run = executor.run_point(topology, name, "worst_case", config)
             util = run.global_channel_utilization()
 
             def channel_util(link) -> float:
@@ -210,6 +230,8 @@ class Figure11MinimalPacketLatency(Experiment):
             columns=["buffer_depth", "load", "minimal", "nonminimal", "average"],
         )
         loads = (0.1, 0.2, 0.3, 0.4) if quick else (0.1, 0.2, 0.3, 0.4, 0.5)
+        executor = experiment_executor()
+        grid: List[Tuple[int, float, SimulationConfig]] = []
         for depth in (16, 256):
             for load in loads:
                 config = experiment_config(quick, load=load, vc_buffer_depth=depth)
@@ -218,18 +240,23 @@ class Figure11MinimalPacketLatency(Experiment):
                     config = dataclasses.replace(
                         config, warmup_cycles=config.warmup_cycles * 5
                     )
-                run = run_point(topology, make_routing("UGAL-L"), "worst_case", config)
-                result.rows.append(
-                    {
-                        "buffer_depth": depth,
-                        "load": load,
-                        "minimal": math.inf if run.saturated else run.avg_minimal_latency,
-                        "nonminimal": (
-                            math.inf if run.saturated else run.avg_nonminimal_latency
-                        ),
-                        "average": _latency(run),
-                    }
-                )
+                grid.append((depth, load, config))
+        runs = executor.run_points(
+            topology,
+            [PointSpec("UGAL-L", "worst_case", config) for _, _, config in grid],
+        )
+        for (depth, load, _), run in zip(grid, runs):
+            result.rows.append(
+                {
+                    "buffer_depth": depth,
+                    "load": load,
+                    "minimal": math.inf if run.saturated else run.avg_minimal_latency,
+                    "nonminimal": (
+                        math.inf if run.saturated else run.avg_nonminimal_latency
+                    ),
+                    "average": _latency(run),
+                }
+            )
         return result
 
 
@@ -255,13 +282,14 @@ class Figure12LatencyHistogram(Experiment):
                 "minimal_fraction_in_bin",
             ],
         )
+        executor = experiment_executor()
         for depth in (16, 256):
             config = experiment_config(quick, load=0.25, vc_buffer_depth=depth)
             if depth >= 256:
                 config = dataclasses.replace(
                     config, warmup_cycles=config.warmup_cycles * 5
                 )
-            run = run_point(topology, make_routing("UGAL-L"), "worst_case", config)
+            run = executor.run_point(topology, "UGAL-L", "worst_case", config)
             bin_width = 5 if depth == 16 else 25
             total_histogram = dict(run.latency_histogram(bin_width=bin_width))
             minimal_histogram = dict(
@@ -303,13 +331,27 @@ class Figure14BufferDepth(Experiment):
             columns=["buffer_depth", "load", "latency"],
         )
         loads = (0.1, 0.2, 0.3, 0.4) if quick else (0.1, 0.2, 0.3, 0.4, 0.5)
-        for depth in (4, 8, 16, 32, 64):
-            for load in loads:
-                config = experiment_config(quick, load=load, vc_buffer_depth=depth)
-                run = run_point(topology, make_routing("UGAL-L"), "worst_case", config)
-                result.rows.append(
-                    {"buffer_depth": depth, "load": load, "latency": _latency(run)}
+        executor = experiment_executor()
+        grid = [
+            (depth, load)
+            for depth in (4, 8, 16, 32, 64)
+            for load in loads
+        ]
+        runs = executor.run_points(
+            topology,
+            [
+                PointSpec(
+                    "UGAL-L",
+                    "worst_case",
+                    experiment_config(quick, load=load, vc_buffer_depth=depth),
                 )
+                for depth, load in grid
+            ],
+        )
+        for (depth, load), run in zip(grid, runs):
+            result.rows.append(
+                {"buffer_depth": depth, "load": load, "latency": _latency(run)}
+            )
         return result
 
 
@@ -335,6 +377,9 @@ class Figure16CreditRoundTrip(Experiment):
             paper_claim=self.paper_claim,
             columns=["pattern", "buffer_depth", "load"] + self.routing_names,
         )
+        executor = experiment_executor()
+        grid: List[Tuple[str, int, float]] = []
+        specs: List[PointSpec] = []
         for pattern in ("worst_case", "uniform_random"):
             loads = (
                 worst_case_loads(quick)
@@ -343,11 +388,7 @@ class Figure16CreditRoundTrip(Experiment):
             )
             for depth in (16, 256):
                 for load in loads:
-                    row: Dict[str, object] = {
-                        "pattern": pattern,
-                        "buffer_depth": depth,
-                        "load": load,
-                    }
+                    grid.append((pattern, depth, load))
                     for name in self.routing_names:
                         config = experiment_config(
                             quick, load=load, vc_buffer_depth=depth
@@ -356,9 +397,15 @@ class Figure16CreditRoundTrip(Experiment):
                             config = dataclasses.replace(
                                 config, warmup_cycles=config.warmup_cycles * 5
                             )
-                        run = run_point(
-                            topology, make_routing(name), pattern, config
-                        )
-                        row[name] = _latency(run)
-                    result.rows.append(row)
+                        specs.append(PointSpec(name, pattern, config))
+        runs = iter(executor.run_points(topology, specs))
+        for pattern, depth, load in grid:
+            row: Dict[str, object] = {
+                "pattern": pattern,
+                "buffer_depth": depth,
+                "load": load,
+            }
+            for name in self.routing_names:
+                row[name] = _latency(next(runs))
+            result.rows.append(row)
         return result

@@ -1,7 +1,9 @@
 """Cycle-accurate flit-level interconnection network simulator."""
 
+from .cache import SweepCache, point_key
 from .config import SimulationConfig
 from .packet import Flit, Packet, RoutePlan, make_flits
+from .parallel import PointSpec, SweepExecutor, derive_seed, derive_seeds
 from .replication import ReplicatedMetric, ReplicatedResult, replicate
 from .simulator import Simulator, simulate
 from .stats import LatencySample, SimulationResult
@@ -30,6 +32,12 @@ from .traffic import (
 )
 
 __all__ = [
+    "SweepCache",
+    "point_key",
+    "PointSpec",
+    "SweepExecutor",
+    "derive_seed",
+    "derive_seeds",
     "SimulationConfig",
     "Flit",
     "Packet",

@@ -1,0 +1,178 @@
+"""On-disk cache of simulation results, keyed by the full run recipe.
+
+Reproducing one paper figure means sweeping offered load across several
+routing algorithms, and bisecting ``saturation_load`` re-simulates many
+nearby loads.  Every one of those runs is a pure function of its inputs
+(the determinism regression in ``tests/network/test_determinism.py`` is
+the contract), so results can be memoised on disk: re-running a figure
+script, widening a sweep, or re-bisecting a saturation point skips every
+point that has already been computed.
+
+A cache entry is keyed by a stable SHA-256 hash over the canonical JSON
+of everything that determines the result:
+
+* topology family and parameters (``p``, ``a``, ``h``, ``num_groups``),
+* routing algorithm name,
+* VC assignment name (the canonical Figure 7 assignment unless a
+  variant is threaded through),
+* traffic pattern name,
+* every :class:`~repro.network.config.SimulationConfig` field -- load,
+  seed, warm-up/measurement/drain cycles, buffer depth, VC count,
+  packet size, pipeline depth, credit-delay gain, ...
+
+Entries carry a schema version stamp (:data:`SCHEMA_VERSION`) and the
+full key they were stored under; a version mismatch, a key mismatch
+(hash collision or hand-edited file) or an unreadable file is treated as
+a miss and the stale entry is dropped.  Bump :data:`SCHEMA_VERSION`
+whenever the simulator's behaviour or the result serialisation changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from .config import SimulationConfig
+from .stats import SimulationResult
+
+#: Bump on any change that invalidates previously stored results: the
+#: simulator's cycle-level behaviour, the meaning of a config field, or
+#: the :meth:`SimulationResult.to_dict` layout.
+SCHEMA_VERSION = 1
+
+#: Environment variable naming the cache directory; unset disables the
+#: cache in :meth:`repro.network.parallel.SweepExecutor.from_env`.
+CACHE_ENV_VAR = "REPRO_SWEEP_CACHE"
+
+
+def topology_signature(topology: object) -> Dict[str, object]:
+    """JSON-able identity of a topology: family plus its parameters."""
+    signature: Dict[str, object] = {"family": type(topology).__name__}
+    params = getattr(topology, "params", None)
+    if dataclasses.is_dataclass(params) and not isinstance(params, type):
+        signature["params"] = dataclasses.asdict(params)
+    else:
+        signature["params"] = repr(params)
+    return signature
+
+
+def point_key(
+    topology: object,
+    routing_name: str,
+    pattern_name: str,
+    config: SimulationConfig,
+    vc_assignment: str = "canonical",
+) -> Dict[str, object]:
+    """The full, auditable cache key of one simulation point."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "topology": topology_signature(topology),
+        "routing": routing_name,
+        "vc_assignment": vc_assignment,
+        "pattern": pattern_name,
+        "config": dataclasses.asdict(config),
+    }
+
+
+def key_digest(key: Dict[str, object]) -> str:
+    """Stable SHA-256 digest of a key's canonical JSON."""
+    canonical = json.dumps(key, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class SweepCache:
+    """Directory of JSON files, one per simulated point.
+
+    Files are written atomically (temp file + rename) so a crashed or
+    parallel run never leaves a truncated entry behind, and concurrent
+    writers of the same key simply race to an identical file.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, key: Dict[str, object]) -> Path:
+        return self.directory / f"{key_digest(key)}.json"
+
+    def get(self, key: Dict[str, object]) -> Optional[SimulationResult]:
+        """The stored result for ``key``, or ``None`` on a miss.
+
+        Stale entries (schema bump, key mismatch, corrupt JSON) are
+        deleted so the cache self-heals.
+        """
+        path = self._entry_path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if entry.get("schema") != SCHEMA_VERSION or entry.get("key") != key:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        try:
+            result = SimulationResult.from_dict(entry["result"])
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: Dict[str, object], result: SimulationResult) -> None:
+        """Store ``result`` under ``key`` (atomic, last writer wins)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "result": result.to_dict(),
+        }
+        path = self._entry_path(key)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    @classmethod
+    def from_env(cls) -> Optional["SweepCache"]:
+        """A cache at ``$REPRO_SWEEP_CACHE``, or ``None`` when unset."""
+        directory = os.environ.get(CACHE_ENV_VAR, "").strip()
+        if not directory:
+            return None
+        return cls(directory)

@@ -1,0 +1,201 @@
+"""Parallel sweep execution with result caching.
+
+Every point of a load sweep (and every seed of a replication) is an
+independent, deterministic simulation: all randomness flows from the
+point's own :class:`~repro.network.config.SimulationConfig`, never from
+shared state.  That makes fanning points across a process pool safe --
+parallel execution is *bit-identical* to serial execution, point for
+point, which the parallel/serial equivalence test and the golden
+fixtures under ``tests/golden/`` pin down.
+
+:class:`SweepExecutor` is the single entry point.  It
+
+* answers points from an optional :class:`~repro.network.cache.SweepCache`
+  before simulating anything,
+* fans cache misses across a ``ProcessPoolExecutor`` when ``workers > 1``
+  and there is more than one miss,
+* falls back to in-process serial execution when the pool cannot be
+  used (``workers = 1``, a single miss, unpicklable inputs, or a broken
+  pool), and
+* reassembles results in submission order regardless of completion
+  order.
+
+``load_sweep``, ``saturation_load``, ``replicate`` and the
+``repro.experiments`` runners all accept an executor; the environment
+variables ``REPRO_SWEEP_WORKERS`` and ``REPRO_SWEEP_CACHE`` configure
+the default one (:meth:`SweepExecutor.from_env`) so figure scripts and
+benchmarks pick up parallelism and caching without code changes.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, cast
+
+from .cache import SweepCache, point_key
+from .config import SimulationConfig
+from .stats import SimulationResult
+
+#: Environment variable selecting the default worker count (default 1).
+WORKERS_ENV_VAR = "REPRO_SWEEP_WORKERS"
+
+#: 64-bit splitmix constants for :func:`derive_seed`.
+_SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """Deterministic, well-separated per-point seed.
+
+    A splitmix64 finalisation of ``base_seed + index`` -- stable across
+    Python versions, processes and platforms (unlike ``hash``), and free
+    of the correlated-stream risk of handing consecutive integers to
+    ``random.Random``.  The result is folded into 63 bits so it is a
+    portable non-negative seed.
+    """
+    z = (base_seed + (index + 1) * _SPLITMIX_GAMMA) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & (_MASK64 >> 1)
+
+
+def derive_seeds(base_seed: int, runs: int) -> List[int]:
+    """``runs`` distinct replication seeds derived from ``base_seed``."""
+    if runs < 1:
+        raise ValueError("need at least one run")
+    return [derive_seed(base_seed, index) for index in range(runs)]
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One simulation point: routing + pattern + full configuration.
+
+    The routing algorithm travels by *name* (not instance) so each
+    worker builds a fresh instance exactly as the serial sweep loop
+    does, and so the spec stays trivially picklable and hashable.
+    """
+
+    routing_name: str
+    pattern_name: str
+    config: SimulationConfig
+
+
+def _run_spec(topology, spec: PointSpec) -> SimulationResult:
+    """Worker body: simulate one point with fresh routing and pattern.
+
+    Looks ``run_point`` up through the module at call time so tests can
+    monkeypatch ``repro.network.sweep.run_point`` to count invocations.
+    """
+    from ..routing.ugal import make_routing
+    from . import sweep
+
+    routing = make_routing(spec.routing_name)
+    return sweep.run_point(topology, routing, spec.pattern_name, spec.config)
+
+
+@dataclass
+class SweepExecutor:
+    """Cache-aware, optionally parallel runner of simulation points."""
+
+    #: Process-pool width; ``1`` (the default) runs in-process.
+    workers: int = 1
+    #: Result cache consulted before and filled after simulation.
+    cache: Optional[SweepCache] = None
+    #: Counts of how points were satisfied, for reporting.
+    stats: Dict[str, int] = field(
+        default_factory=lambda: {"cached": 0, "simulated": 0, "fallbacks": 0}
+    )
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+    @classmethod
+    def from_env(cls) -> "SweepExecutor":
+        """Executor configured from ``REPRO_SWEEP_WORKERS`` (default 1,
+        ``0``/``auto`` = CPU count) and ``REPRO_SWEEP_CACHE``."""
+        raw = os.environ.get(WORKERS_ENV_VAR, "1").strip().lower()
+        if raw in ("0", "auto"):
+            workers = os.cpu_count() or 1
+        else:
+            try:
+                workers = max(1, int(raw))
+            except ValueError:
+                workers = 1
+        return cls(workers=workers, cache=SweepCache.from_env())
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_point(
+        self,
+        topology,
+        routing_name: str,
+        pattern_name: str,
+        config: SimulationConfig,
+    ) -> SimulationResult:
+        """One point through the cache (a single point never forks)."""
+        return self.run_points(
+            topology, [PointSpec(routing_name, pattern_name, config)]
+        )[0]
+
+    def run_points(
+        self, topology, specs: Sequence[PointSpec]
+    ) -> List[SimulationResult]:
+        """Simulate ``specs``, returning results in the same order."""
+        results: List[Optional[SimulationResult]] = [None] * len(specs)
+        miss_indices: List[int] = []
+        for index, spec in enumerate(specs):
+            if self.cache is not None:
+                hit = self.cache.get(self._key(topology, spec))
+                if hit is not None:
+                    results[index] = hit
+                    self.stats["cached"] += 1
+                    continue
+            miss_indices.append(index)
+        if miss_indices:
+            computed = self._execute(topology, [specs[i] for i in miss_indices])
+            for index, result in zip(miss_indices, computed):
+                results[index] = result
+                self.stats["simulated"] += 1
+                if self.cache is not None:
+                    self.cache.put(self._key(topology, specs[index]), result)
+        assert all(result is not None for result in results)
+        return cast(List[SimulationResult], results)
+
+    def _key(self, topology, spec: PointSpec) -> Dict[str, object]:
+        return point_key(
+            topology, spec.routing_name, spec.pattern_name, spec.config
+        )
+
+    def _execute(
+        self, topology, specs: Sequence[PointSpec]
+    ) -> List[SimulationResult]:
+        if self.workers > 1 and len(specs) > 1 and self._picklable(topology, specs):
+            try:
+                return self._execute_pool(topology, specs)
+            except (BrokenProcessPool, OSError):
+                self.stats["fallbacks"] += 1
+        return [_run_spec(topology, spec) for spec in specs]
+
+    def _execute_pool(
+        self, topology, specs: Sequence[PointSpec]
+    ) -> List[SimulationResult]:
+        max_workers = min(self.workers, len(specs))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [pool.submit(_run_spec, topology, spec) for spec in specs]
+            return [future.result() for future in futures]
+
+    def _picklable(self, topology, specs: Sequence[PointSpec]) -> bool:
+        """Pre-flight check so unpicklable inputs degrade to serial
+        execution instead of a half-submitted pool."""
+        try:
+            pickle.dumps((topology, list(specs)))
+            return True
+        except Exception:
+            self.stats["fallbacks"] += 1
+            return False

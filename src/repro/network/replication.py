@@ -13,11 +13,12 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
 from ..routing.base import RoutingAlgorithm
 from ..topology.dragonfly import Dragonfly
 from .config import SimulationConfig
+from .parallel import PointSpec, SweepExecutor, derive_seeds
 from .simulator import Simulator
 from .stats import SimulationResult
 from .traffic import make_pattern
@@ -87,22 +88,43 @@ def replicate(
     make_algorithm: Callable[[], RoutingAlgorithm],
     pattern_name: str,
     config: SimulationConfig,
-    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    seeds: Union[int, Sequence[int]] = (1, 2, 3, 4, 5),
+    executor: Optional[SweepExecutor] = None,
 ) -> ReplicatedResult:
     """Run the same configuration under independent seeds.
+
+    ``seeds`` is either an explicit sequence or a run count, in which
+    case that many well-separated seeds are derived deterministically
+    from ``config.seed`` (:func:`repro.network.parallel.derive_seeds`).
+    With an ``executor`` the replications fan out across workers and hit
+    the result cache; the per-seed results are identical either way.
 
     Saturated runs are excluded from the latency statistic (their latency
     is unbounded) but counted in ``saturated_runs``.
     """
+    if isinstance(seeds, int):
+        seeds = derive_seeds(config.seed, seeds)
     if not seeds:
         raise ValueError("need at least one seed")
     results: List[SimulationResult] = []
-    for seed in seeds:
-        seeded = dataclasses.replace(config, seed=seed)
-        pattern = make_pattern(pattern_name, topology, seed=seed + 17)
-        results.append(
-            Simulator(topology, make_algorithm(), pattern, seeded).run()
-        )
+    if executor is not None:
+        routing_name = make_algorithm().name
+        specs = [
+            PointSpec(
+                routing_name,
+                pattern_name,
+                dataclasses.replace(config, seed=seed),
+            )
+            for seed in seeds
+        ]
+        results = executor.run_points(topology, specs)
+    else:
+        for seed in seeds:
+            seeded = dataclasses.replace(config, seed=seed)
+            pattern = make_pattern(pattern_name, topology, seed=seed + 17)
+            results.append(
+                Simulator(topology, make_algorithm(), pattern, seeded).run()
+            )
     stable = [r for r in results if not r.saturated]
     latencies = [r.avg_latency for r in stable] or [math.inf]
     return ReplicatedResult(

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -130,6 +130,62 @@ class SimulationResult:
             channel: flits / self.measure_cycles
             for channel, flits in sorted(self.global_channel_flits.items())
         }
+
+    # ------------------------------------------------------------------
+    # Serialisation (result cache, golden fixtures)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able dict of every stored field (derived stats excluded).
+
+        The layout is part of the cache schema: change it together with
+        :data:`repro.network.cache.SCHEMA_VERSION`.
+        """
+        return {
+            "routing_name": self.routing_name,
+            "pattern_name": self.pattern_name,
+            "offered_load": self.offered_load,
+            "num_terminals": self.num_terminals,
+            "measure_cycles": self.measure_cycles,
+            "drained": self.drained,
+            "samples": [[s.latency, s.minimal] for s in self.samples],
+            # JSON object keys are strings; from_dict converts back.
+            "global_channel_flits": {
+                str(channel): flits
+                for channel, flits in sorted(self.global_channel_flits.items())
+            },
+            "ejected_flits_in_window": self.ejected_flits_in_window,
+            "unfinished_tagged": self.unfinished_tagged,
+            "warmup_cycles": self.warmup_cycles,
+            "total_cycles": self.total_cycles,
+            "avg_source_queue_at_end": self.avg_source_queue_at_end,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimulationResult":
+        """Inverse of :meth:`to_dict`."""
+        samples = [
+            LatencySample(latency=int(latency), minimal=bool(minimal))
+            for latency, minimal in data["samples"]
+        ]
+        flits = {
+            int(channel): int(count)
+            for channel, count in data["global_channel_flits"].items()
+        }
+        return cls(
+            routing_name=str(data["routing_name"]),
+            pattern_name=str(data["pattern_name"]),
+            offered_load=float(data["offered_load"]),
+            num_terminals=int(data["num_terminals"]),
+            measure_cycles=int(data["measure_cycles"]),
+            drained=bool(data["drained"]),
+            samples=samples,
+            ejected_flits_in_window=int(data["ejected_flits_in_window"]),
+            global_channel_flits=flits,
+            unfinished_tagged=int(data["unfinished_tagged"]),
+            warmup_cycles=int(data["warmup_cycles"]),
+            total_cycles=int(data["total_cycles"]),
+            avg_source_queue_at_end=float(data["avg_source_queue_at_end"]),
+        )
 
     def summary(self) -> str:
         status = "saturated" if self.saturated else "ok"

@@ -10,12 +10,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..routing.base import RoutingAlgorithm
-from ..routing.ugal import make_routing
 from ..topology.dragonfly import Dragonfly
 from .config import SimulationConfig
+from .parallel import PointSpec, SweepExecutor
 from .simulator import Simulator
 from .stats import SimulationResult
 from .traffic import make_pattern
@@ -53,18 +53,26 @@ def load_sweep(
     pattern_name: str,
     loads: Sequence[float],
     config: SimulationConfig,
+    executor: Optional[SweepExecutor] = None,
 ) -> List[SweepPoint]:
     """Latency-vs-offered-load curve for one routing algorithm.
 
     Each point gets a fresh simulator and routing instance so runs are
-    independent and reproducible.
+    independent and reproducible.  ``executor`` selects parallelism and
+    result caching (:mod:`repro.network.parallel`); the default runs
+    serially in-process.  Points are returned in ``loads`` order and are
+    bit-identical whichever executor computes them.
     """
-    points = []
-    for load in loads:
-        routing = make_routing(routing_name)
-        result = run_point(topology, routing, pattern_name, config.with_load(load))
-        points.append(SweepPoint(load=load, result=result))
-    return points
+    executor = executor or SweepExecutor()
+    specs = [
+        PointSpec(routing_name, pattern_name, config.with_load(load))
+        for load in loads
+    ]
+    results = executor.run_points(topology, specs)
+    return [
+        SweepPoint(load=load, result=result)
+        for load, result in zip(loads, results)
+    ]
 
 
 def saturation_load(
@@ -77,6 +85,7 @@ def saturation_load(
     tolerance: float = 0.02,
     latency_limit: Optional[float] = None,
     accepted_fraction: float = 0.97,
+    executor: Optional[SweepExecutor] = None,
 ) -> float:
     """Bisection estimate of saturation throughput.
 
@@ -86,18 +95,31 @@ def saturation_load(
     delivers its capacity regardless of the measurement window), or when
     ``latency_limit`` is given and average latency exceeds it.  Returns
     the highest load found below saturation.
+
+    Stable/unstable probes are memoised per load within the call, so no
+    load is ever simulated twice, and routed through ``executor`` so an
+    attached :class:`~repro.network.parallel.SweepCache` lets repeated
+    bisections (tighter tolerance, different brackets, figure re-runs)
+    reuse every previously probed load.
     """
+    executor = executor or SweepExecutor()
+    probes: Dict[float, bool] = {}
 
     def is_stable(load: float) -> bool:
-        routing = make_routing(routing_name)
-        result = run_point(topology, routing, pattern_name, config.with_load(load))
+        if load in probes:
+            return probes[load]
+        result = executor.run_point(
+            topology, routing_name, pattern_name, config.with_load(load)
+        )
+        stable = True
         if result.saturated:
-            return False
-        if result.accepted_load < accepted_fraction * load:
-            return False
-        if latency_limit is not None and result.avg_latency > latency_limit:
-            return False
-        return True
+            stable = False
+        elif result.accepted_load < accepted_fraction * load:
+            stable = False
+        elif latency_limit is not None and result.avg_latency > latency_limit:
+            stable = False
+        probes[load] = stable
+        return stable
 
     if not is_stable(low):
         return 0.0

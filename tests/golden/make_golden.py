@@ -1,0 +1,63 @@
+"""Regenerate the golden sweep fixtures.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/make_golden.py
+
+Only regenerate after an *intentional* simulator behaviour change, and
+bump ``repro.network.cache.SCHEMA_VERSION`` in the same commit -- the
+fixtures pin the serial simulator's exact output so that the parallel
+executor and the result cache can be checked against it bit for bit
+(``tests/network/test_golden_sweep.py``).
+"""
+
+import dataclasses
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2] / "src"))
+
+from repro.core.params import DragonflyParams  # noqa: E402
+from repro.network.config import SimulationConfig  # noqa: E402
+from repro.network.sweep import load_sweep  # noqa: E402
+from repro.topology.dragonfly import Dragonfly  # noqa: E402
+
+GOLDEN_DIR = pathlib.Path(__file__).parent
+
+#: (fixture name, routing, pattern, loads).  Small enough to run in a
+#: few seconds, rich enough to exercise minimal and adaptive routing on
+#: benign and adversarial traffic.
+CASES = [
+    ("min_uniform", "MIN", "uniform_random", (0.1, 0.3)),
+    ("ugal_worst", "UGAL-L", "worst_case", (0.05, 0.15)),
+]
+
+CONFIG = SimulationConfig(
+    load=0.1,
+    seed=3,
+    warmup_cycles=100,
+    measure_cycles=100,
+    drain_max_cycles=2000,
+)
+
+
+def main() -> None:
+    topology = Dragonfly(DragonflyParams.paper_example_72())
+    for name, routing, pattern, loads in CASES:
+        points = load_sweep(topology, routing, pattern, loads, CONFIG)
+        fixture = {
+            "topology": {"p": 2, "a": 4, "h": 2},
+            "routing": routing,
+            "pattern": pattern,
+            "loads": list(loads),
+            "config": dataclasses.asdict(CONFIG),
+            "points": [point.result.to_dict() for point in points],
+        }
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(fixture, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {path} ({len(points)} points)")
+
+
+if __name__ == "__main__":
+    main()

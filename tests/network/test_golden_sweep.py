@@ -1,0 +1,74 @@
+"""Golden regression: serial, parallel and cached sweeps reproduce the
+checked-in fixtures bit for bit.
+
+The fixtures under ``tests/golden/`` were produced by a serial
+``load_sweep`` (``tests/golden/make_golden.py``); any divergence means
+either the simulator's behaviour changed (then regenerate the fixtures
+*and* bump ``repro.network.cache.SCHEMA_VERSION`` in the same commit)
+or the parallel/cache machinery broke determinism (a bug -- fix it).
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.params import DragonflyParams
+from repro.network.cache import SweepCache
+from repro.network.config import SimulationConfig
+from repro.network.parallel import SweepExecutor
+from repro.network.sweep import load_sweep
+from repro.topology.dragonfly import Dragonfly
+
+GOLDEN_DIR = pathlib.Path(__file__).parent.parent / "golden"
+FIXTURES = sorted(GOLDEN_DIR.glob("*.json"))
+
+
+def load_fixture(path):
+    fixture = json.loads(path.read_text())
+    topology = Dragonfly(DragonflyParams(**fixture["topology"]))
+    config = SimulationConfig(**fixture["config"])
+    return fixture, topology, config
+
+
+def sweep_dicts(points):
+    return [point.result.to_dict() for point in points]
+
+
+@pytest.fixture(params=FIXTURES, ids=[path.stem for path in FIXTURES])
+def golden(request):
+    return load_fixture(request.param)
+
+
+def test_fixtures_exist():
+    assert len(FIXTURES) >= 2, "golden fixtures missing from tests/golden/"
+
+
+def test_serial_matches_golden(golden):
+    fixture, topology, config = golden
+    points = load_sweep(
+        topology, fixture["routing"], fixture["pattern"], fixture["loads"],
+        config,
+    )
+    assert sweep_dicts(points) == fixture["points"]
+
+
+def test_parallel_matches_golden(golden):
+    fixture, topology, config = golden
+    points = load_sweep(
+        topology, fixture["routing"], fixture["pattern"], fixture["loads"],
+        config, executor=SweepExecutor(workers=2),
+    )
+    assert sweep_dicts(points) == fixture["points"]
+
+
+def test_cached_rerun_matches_golden(golden, tmp_path):
+    fixture, topology, config = golden
+    executor = SweepExecutor(cache=SweepCache(tmp_path / "cache"))
+    for _ in range(2):  # second pass is answered entirely from disk
+        points = load_sweep(
+            topology, fixture["routing"], fixture["pattern"], fixture["loads"],
+            config, executor=executor,
+        )
+        assert sweep_dicts(points) == fixture["points"]
+    assert executor.stats["cached"] == len(fixture["loads"])

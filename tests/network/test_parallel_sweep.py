@@ -1,0 +1,198 @@
+"""Parallel sweep execution is bit-identical to serial execution.
+
+The contract of :mod:`repro.network.parallel`: a sweep point is a pure
+function of its :class:`PointSpec`, so fanning points across a process
+pool changes wall-clock time and nothing else.  These tests pin the
+equivalence (the CI workflow re-runs the equivalence class with
+``REPRO_SWEEP_WORKERS=2``), the ordered reassembly, the serial
+fallback, and the deterministic seed derivation.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.core.params import DragonflyParams
+from repro.network.config import SimulationConfig
+from repro.network.parallel import (
+    PointSpec,
+    SweepExecutor,
+    derive_seed,
+    derive_seeds,
+)
+from repro.network.replication import replicate
+from repro.network.sweep import load_sweep
+from repro.routing.ugal import make_routing
+from repro.topology.dragonfly import Dragonfly
+
+
+@pytest.fixture(scope="module")
+def df():
+    return Dragonfly(DragonflyParams.paper_example_72())
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SimulationConfig(
+        load=0.1, seed=5, warmup_cycles=100, measure_cycles=100,
+        drain_max_cycles=2000,
+    )
+
+
+def point_dicts(points):
+    return [(p.load, p.result.to_dict()) for p in points]
+
+
+class TestParallelSerialEquivalence:
+    LOADS = (0.1, 0.2, 0.3, 0.4)
+
+    def test_four_workers_match_serial(self, df, config):
+        """The acceptance-criterion equivalence: 4 workers, same bits."""
+        serial = load_sweep(df, "UGAL-L", "uniform_random", self.LOADS, config)
+        parallel = load_sweep(
+            df, "UGAL-L", "uniform_random", self.LOADS, config,
+            executor=SweepExecutor(workers=4),
+        )
+        assert point_dicts(serial) == point_dicts(parallel)
+
+    def test_two_workers_match_serial_adversarial(self, df, config):
+        serial = load_sweep(df, "VAL", "worst_case", (0.05, 0.15), config)
+        parallel = load_sweep(
+            df, "VAL", "worst_case", (0.05, 0.15), config,
+            executor=SweepExecutor(workers=2),
+        )
+        assert point_dicts(serial) == point_dicts(parallel)
+
+    def test_results_keep_submission_order(self, df, config):
+        loads = (0.4, 0.1, 0.3, 0.2)  # deliberately unsorted
+        points = load_sweep(
+            df, "MIN", "uniform_random", loads, config,
+            executor=SweepExecutor(workers=4),
+        )
+        assert [p.load for p in points] == list(loads)
+        assert [p.result.offered_load for p in points] == list(loads)
+
+    def test_env_configured_executor_matches_serial(self, df, config):
+        """CI re-runs this class with ``REPRO_SWEEP_WORKERS=2``; locally
+        the environment usually selects the serial executor."""
+        serial = load_sweep(df, "MIN", "uniform_random", self.LOADS, config)
+        from_env = load_sweep(
+            df, "MIN", "uniform_random", self.LOADS, config,
+            executor=SweepExecutor.from_env(),
+        )
+        assert point_dicts(serial) == point_dicts(from_env)
+
+    def test_replicate_executor_matches_serial(self, df, config):
+        serial = replicate(
+            df, lambda: make_routing("MIN"), "uniform_random", config,
+            seeds=(1, 2, 3),
+        )
+        parallel = replicate(
+            df, lambda: make_routing("MIN"), "uniform_random", config,
+            seeds=(1, 2, 3), executor=SweepExecutor(workers=3),
+        )
+        assert serial.latency.values == parallel.latency.values
+        assert serial.accepted_load.values == parallel.accepted_load.values
+        assert serial.saturated_runs == parallel.saturated_runs
+
+
+class TestSerialFallback:
+    def test_single_point_never_forks(self, df, config, monkeypatch):
+        """One miss runs in-process even with workers > 1."""
+        import repro.network.parallel as parallel_module
+
+        def explode(*args, **kwargs):
+            raise AssertionError("pool must not be created for one point")
+
+        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor", explode)
+        executor = SweepExecutor(workers=4)
+        result = executor.run_point(df, "MIN", "uniform_random", config)
+        assert result.routing_name == "MIN"
+
+    def test_unpicklable_topology_degrades_to_serial(self, config):
+        topology = Dragonfly(DragonflyParams.paper_example_72())
+        topology.unpicklable = lambda: None  # closures cannot pickle
+        with pytest.raises(Exception):
+            pickle.dumps(topology)
+        executor = SweepExecutor(workers=2)
+        points = load_sweep(
+            topology, "MIN", "uniform_random", (0.1, 0.2), config,
+            executor=executor,
+        )
+        assert executor.stats["fallbacks"] >= 1
+        reference = load_sweep(
+            Dragonfly(DragonflyParams.paper_example_72()),
+            "MIN", "uniform_random", (0.1, 0.2), config,
+        )
+        assert point_dicts(points) == point_dicts(reference)
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(workers=0)
+
+
+class TestSeedDerivation:
+    def test_deterministic(self):
+        assert derive_seed(1, 0) == derive_seed(1, 0)
+        assert derive_seeds(42, 5) == derive_seeds(42, 5)
+
+    def test_distinct_across_index_and_base(self):
+        seeds = derive_seeds(7, 100)
+        assert len(set(seeds)) == 100
+        assert derive_seed(7, 3) != derive_seed(8, 3)
+
+    def test_pinned_values(self):
+        """Cross-platform stability: these values are part of the cache
+        contract (replication keys embed derived seeds)."""
+        assert derive_seeds(1, 3) == [
+            1227844342346046657,
+            4533873174211652711,
+            8688467253428114782,
+        ]
+
+    def test_replicate_accepts_run_count(self, df, config):
+        result = replicate(
+            df, lambda: make_routing("MIN"), "uniform_random", config, seeds=3
+        )
+        assert result.accepted_load.runs == 3
+
+    def test_rejects_nonpositive_runs(self):
+        with pytest.raises(ValueError):
+            derive_seeds(1, 0)
+
+
+class TestFromEnv:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)
+        monkeypatch.delenv("REPRO_SWEEP_CACHE", raising=False)
+        executor = SweepExecutor.from_env()
+        assert executor.workers == 1
+        assert executor.cache is None
+
+    def test_explicit_workers_and_cache(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "cache"))
+        executor = SweepExecutor.from_env()
+        assert executor.workers == 3
+        assert executor.cache is not None
+        assert executor.cache.directory == tmp_path / "cache"
+
+    def test_auto_maps_to_cpu_count(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "auto")
+        assert SweepExecutor.from_env().workers == (os.cpu_count() or 1)
+
+    def test_garbage_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "many")
+        assert SweepExecutor.from_env().workers == 1
+
+
+class TestPointSpec:
+    def test_hashable_and_picklable(self, config):
+        spec = PointSpec("MIN", "uniform_random", config)
+        assert spec == pickle.loads(pickle.dumps(spec))
+        assert hash(spec) == hash(
+            PointSpec("MIN", "uniform_random", dataclasses.replace(config))
+        )

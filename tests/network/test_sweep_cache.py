@@ -1,0 +1,209 @@
+"""The result cache: hits skip simulation, and only exact keys hit.
+
+The headline property (an ISSUE satellite): a second ``load_sweep`` with
+an identical configuration performs *zero* ``run_point`` invocations --
+counted by monkeypatching the function the executor's worker body looks
+up at call time -- and returns equal results; any mutation of the key
+(seed, load, routing, topology parameters) misses.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+import repro.network.sweep as sweep_module
+from repro.core.params import DragonflyParams
+from repro.network.cache import (
+    SCHEMA_VERSION,
+    SweepCache,
+    key_digest,
+    point_key,
+)
+from repro.network.config import SimulationConfig
+from repro.network.parallel import SweepExecutor
+from repro.network.sweep import load_sweep, saturation_load
+from repro.topology.dragonfly import Dragonfly
+
+
+@pytest.fixture(scope="module")
+def df():
+    return Dragonfly(DragonflyParams.paper_example_72())
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SimulationConfig(
+        load=0.1, seed=9, warmup_cycles=100, measure_cycles=100,
+        drain_max_cycles=2000,
+    )
+
+
+@pytest.fixture()
+def counted_run_point(monkeypatch):
+    """Count (and forward) every real simulation the sweep performs."""
+    calls = []
+    real = sweep_module.run_point
+
+    def counting(topology, routing, pattern_name, config):
+        calls.append(config)
+        return real(topology, routing, pattern_name, config)
+
+    monkeypatch.setattr(sweep_module, "run_point", counting)
+    return calls
+
+
+def point_dicts(points):
+    return [(p.load, p.result.to_dict()) for p in points]
+
+
+class TestCacheHits:
+    LOADS = (0.1, 0.2)
+
+    def test_second_sweep_simulates_nothing(
+        self, df, config, tmp_path, counted_run_point
+    ):
+        executor = SweepExecutor(cache=SweepCache(tmp_path / "cache"))
+        first = load_sweep(
+            df, "MIN", "uniform_random", self.LOADS, config, executor=executor
+        )
+        assert len(counted_run_point) == len(self.LOADS)
+
+        counted_run_point.clear()
+        second = load_sweep(
+            df, "MIN", "uniform_random", self.LOADS, config, executor=executor
+        )
+        assert counted_run_point == []
+        assert point_dicts(first) == point_dicts(second)
+
+    def test_cache_shared_across_executors(
+        self, df, config, tmp_path, counted_run_point
+    ):
+        """The cache lives on disk, not in the executor instance."""
+        load_sweep(
+            df, "MIN", "uniform_random", self.LOADS, config,
+            executor=SweepExecutor(cache=SweepCache(tmp_path / "cache")),
+        )
+        counted_run_point.clear()
+        load_sweep(
+            df, "MIN", "uniform_random", self.LOADS, config,
+            executor=SweepExecutor(cache=SweepCache(tmp_path / "cache")),
+        )
+        assert counted_run_point == []
+
+    def test_mutations_miss(self, df, config, tmp_path, counted_run_point):
+        executor = SweepExecutor(cache=SweepCache(tmp_path / "cache"))
+        load_sweep(
+            df, "MIN", "uniform_random", self.LOADS, config, executor=executor
+        )
+
+        counted_run_point.clear()
+        load_sweep(
+            df, "MIN", "uniform_random", self.LOADS,
+            dataclasses.replace(config, seed=config.seed + 1),
+            executor=executor,
+        )
+        assert len(counted_run_point) == len(self.LOADS), "seed change must miss"
+
+        counted_run_point.clear()
+        load_sweep(
+            df, "VAL", "uniform_random", self.LOADS, config, executor=executor
+        )
+        assert len(counted_run_point) == len(self.LOADS), "routing change must miss"
+
+        counted_run_point.clear()
+        other = Dragonfly(DragonflyParams(p=1, a=2, h=1))
+        load_sweep(
+            other, "MIN", "uniform_random", self.LOADS, config, executor=executor
+        )
+        assert len(counted_run_point) == len(self.LOADS), "topology change must miss"
+
+
+class TestCacheInvalidation:
+    def test_schema_bump_invalidates_and_removes(self, df, config, tmp_path):
+        cache = SweepCache(tmp_path)
+        executor = SweepExecutor(cache=cache)
+        executor.run_point(df, "MIN", "uniform_random", config)
+        key = point_key(df, "MIN", "uniform_random", config)
+        path = tmp_path / f"{key_digest(key)}.json"
+        assert path.is_file()
+
+        entry = json.loads(path.read_text())
+        entry["schema"] = SCHEMA_VERSION + 1
+        entry["key"]["schema"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(entry))
+        assert cache.get(key) is None
+        assert not path.exists(), "stale entry must self-heal"
+
+    def test_key_mismatch_is_a_miss(self, df, config, tmp_path):
+        cache = SweepCache(tmp_path)
+        SweepExecutor(cache=cache).run_point(df, "MIN", "uniform_random", config)
+        key = point_key(df, "MIN", "uniform_random", config)
+        path = tmp_path / f"{key_digest(key)}.json"
+        entry = json.loads(path.read_text())
+        entry["key"]["routing"] = "VAL"  # hand-edited / colliding entry
+        path.write_text(json.dumps(entry))
+        assert cache.get(key) is None
+
+    def test_corrupt_file_is_a_miss(self, df, config, tmp_path):
+        cache = SweepCache(tmp_path)
+        key = point_key(df, "MIN", "uniform_random", config)
+        (tmp_path / f"{key_digest(key)}.json").write_text("{not json")
+        assert cache.get(key) is None
+        assert cache.misses == 1
+
+    def test_clear_and_len(self, df, config, tmp_path):
+        cache = SweepCache(tmp_path)
+        executor = SweepExecutor(cache=cache)
+        executor.run_point(df, "MIN", "uniform_random", config)
+        executor.run_point(df, "VAL", "uniform_random", config)
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestKeyStability:
+    def test_digest_is_order_insensitive_and_stable(self, df, config):
+        key = point_key(df, "MIN", "uniform_random", config)
+        reordered = dict(reversed(list(key.items())))
+        assert key_digest(key) == key_digest(reordered)
+        assert key_digest(key) == key_digest(
+            point_key(df, "MIN", "uniform_random", dataclasses.replace(config))
+        )
+
+    def test_key_captures_every_config_field(self, df, config):
+        key = point_key(df, "MIN", "uniform_random", config)
+        assert set(key["config"]) == {
+            field.name for field in dataclasses.fields(SimulationConfig)
+        }
+        assert key["topology"]["params"] == {
+            "p": 2, "a": 4, "h": 2, "num_groups": 9,
+        }
+
+
+class TestSaturationProbeReuse:
+    def test_each_load_simulated_at_most_once(
+        self, df, config, counted_run_point
+    ):
+        saturation_load(
+            df, "MIN", "worst_case", config,
+            low=0.05, high=0.4, tolerance=0.04, latency_limit=60.0,
+        )
+        probed = [c.load for c in counted_run_point]
+        assert len(probed) == len(set(probed)), f"re-simulated loads: {probed}"
+
+    def test_repeated_bisection_hits_cache(
+        self, df, config, tmp_path, counted_run_point
+    ):
+        executor = SweepExecutor(cache=SweepCache(tmp_path / "cache"))
+        kwargs = dict(
+            low=0.05, high=0.4, tolerance=0.04, latency_limit=60.0,
+            executor=executor,
+        )
+        first = saturation_load(df, "MIN", "worst_case", config, **kwargs)
+        assert counted_run_point, "first bisection must simulate"
+
+        counted_run_point.clear()
+        second = saturation_load(df, "MIN", "worst_case", config, **kwargs)
+        assert counted_run_point == [], "second bisection must be all cache hits"
+        assert first == second
