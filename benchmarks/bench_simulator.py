@@ -1,0 +1,269 @@
+#!/usr/bin/env python
+"""Simulator-core throughput benchmark (``BENCH_simulator.json``).
+
+Measures the cycle rate (simulated cycles per wall-clock second) of the
+active-set simulator core on the configurations the acceptance criteria
+name:
+
+* ``fig9_point_load20`` -- the Figure 9 single-point configuration: the
+  72-terminal paper network (p=2, a=4, h=2), worst-case traffic,
+  UGAL-L, 20% offered load.
+* ``fig9_point_saturation`` -- the same network and pattern at 45%
+  load, past the WC/UGAL-L saturation point, so the switch loop runs
+  with full buffers.
+* ``uniform_low_load`` -- uniform random at 20% load (the benign
+  pattern; exercises the decide fast path rather than backpressure).
+* ``multi_flit`` -- uniform random at 20% load with 4-flit packets
+  (virtual cut-through allocation; the generic switch loop).
+* ``request_reply`` -- uniform random at 20% load with the
+  request-reply protocol (two VC classes, reply injection from the
+  ejection path).
+
+Methodology: every timing sample is a fresh subprocess (no warm caches
+shared between engine versions), each case is run ``--reps`` times and
+the *minimum* wall time is reported -- on a busy machine the minimum is
+the best estimator of the true cost, and anything else measures the
+noise.  With ``--baseline REV`` the script additionally checks out
+``REV`` into a temporary git worktree and interleaves baseline/current
+samples (A/B/A/B), so slow drifts in background load hit both engines
+equally; the recorded ``speedup`` is min(baseline)/min(current).
+
+Usage::
+
+    python benchmarks/bench_simulator.py                  # current engine only
+    python benchmarks/bench_simulator.py --baseline REV   # + speedup vs REV
+    python benchmarks/bench_simulator.py --smoke          # CI: tiny cycle
+                                                          # counts, 1 rep
+
+The result is written to ``BENCH_simulator.json`` (override with
+``--output``).  The committed copy was generated with
+``--baseline <seed>`` against the pre-optimisation engine; CI
+regenerates a ``--smoke`` copy on every push as an artifact to prove
+the benchmark itself still runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# Child process: build one configuration, time sim.run() once, print the
+# wall time.  Receives the case config as JSON on argv so the same
+# source runs against any engine version via PYTHONPATH.
+_CHILD_SRC = """
+import json, sys, time
+from repro.core.params import DragonflyParams
+from repro.network.config import SimulationConfig
+from repro.network.simulator import Simulator
+from repro.network.traffic import make_pattern
+from repro.routing.ugal import make_routing
+from repro.topology.dragonfly import Dragonfly
+
+spec = json.loads(sys.argv[1])
+topology = Dragonfly(DragonflyParams(**spec["params"]))
+config = SimulationConfig(**spec["config"])
+pattern = make_pattern(spec["pattern"], topology, seed=config.seed + 17)
+simulator = Simulator(topology, make_routing(spec["routing"]), pattern, config)
+start = time.perf_counter()
+simulator.run()
+print(time.perf_counter() - start)
+"""
+
+# The Figure 5 / Figure 9 example network: p=h=2, a=4, N=72 terminals.
+PAPER_72 = {"p": 2, "a": 4, "h": 2}
+
+ACCEPTANCE = {
+    # The tentpole's bar: >= 2x cycle rate at the Figure 9 single point
+    # (20% load) and >= 1.2x at saturation, versus the seed engine.
+    "fig9_point_load20_min_speedup": 2.0,
+    "fig9_point_saturation_min_speedup": 1.2,
+}
+
+
+def make_cases(smoke: bool) -> dict:
+    warm, meas = (40, 80) if smoke else (200, 400)
+    base = {
+        "warmup_cycles": warm,
+        "measure_cycles": meas,
+        "drain_max_cycles": 0,
+        "seed": 7,
+    }
+    return {
+        "fig9_point_load20": {
+            "params": PAPER_72,
+            "routing": "UGAL-L",
+            "pattern": "worst_case",
+            "config": dict(base, load=0.2),
+        },
+        "fig9_point_saturation": {
+            "params": PAPER_72,
+            "routing": "UGAL-L",
+            "pattern": "worst_case",
+            "config": dict(base, load=0.45),
+        },
+        "uniform_low_load": {
+            "params": PAPER_72,
+            "routing": "UGAL-L",
+            "pattern": "uniform_random",
+            "config": dict(base, load=0.2),
+        },
+        "multi_flit": {
+            "params": PAPER_72,
+            "routing": "UGAL-L",
+            "pattern": "uniform_random",
+            "config": dict(base, load=0.2, packet_size=4),
+        },
+        "request_reply": {
+            "params": PAPER_72,
+            "routing": "UGAL-L",
+            "pattern": "uniform_random",
+            "config": dict(base, load=0.2, request_reply=True, num_vcs=6),
+        },
+    }
+
+
+def time_once(pythonpath: pathlib.Path, spec: dict) -> float:
+    # PYTHONPATH (prepended to sys.path) picks the engine version; it
+    # shadows any pip-installed repro in the child.
+    env = dict(os.environ, PYTHONPATH=str(pythonpath))
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD_SRC, json.dumps(spec)],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    if out.returncode != 0:
+        raise RuntimeError(f"benchmark child failed:\n{out.stderr}")
+    return float(out.stdout.strip())
+
+
+def run_cases(cases, current_src, baseline_src, reps):
+    results = {}
+    for name, spec in cases.items():
+        cycles = spec["config"]["warmup_cycles"] + spec["config"]["measure_cycles"]
+        best = None
+        base_best = None
+        # Interleave baseline/current samples so background-load drift
+        # affects both engines equally.
+        for _ in range(reps):
+            if baseline_src is not None:
+                sample = time_once(baseline_src, spec)
+                base_best = sample if base_best is None else min(base_best, sample)
+            sample = time_once(current_src, spec)
+            best = sample if best is None else min(best, sample)
+        entry = {
+            "params": spec["params"],
+            "routing": spec["routing"],
+            "pattern": spec["pattern"],
+            "load": spec["config"]["load"],
+            "simulated_cycles": cycles,
+            "wall_time_s": round(best, 6),
+            "cycles_per_sec": round(cycles / best, 1),
+        }
+        if base_best is not None:
+            entry["baseline_wall_time_s"] = round(base_best, 6)
+            entry["baseline_cycles_per_sec"] = round(cycles / base_best, 1)
+            entry["speedup"] = round(base_best / best, 3)
+        results[name] = entry
+        line = f"{name:24s} {entry['cycles_per_sec']:>10.0f} cycles/s"
+        if "speedup" in entry:
+            line += f"  ({entry['speedup']:.2f}x vs baseline)"
+        print(line, flush=True)
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny cycle counts and a single rep; proves the benchmark "
+        "runs (CI), does not produce meaningful timings",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="REV",
+        help="git revision to A/B against (checked out into a "
+        "temporary worktree); adds speedup numbers to the output",
+    )
+    parser.add_argument(
+        "--reps",
+        type=int,
+        default=None,
+        help="timing repetitions per case, best-of-N (default: 5, or 1 "
+        "with --smoke)",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_simulator.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+    reps = args.reps if args.reps is not None else (1 if args.smoke else 5)
+
+    cases = make_cases(smoke=args.smoke)
+    current_src = REPO_ROOT / "src"
+
+    worktree = None
+    baseline_src = None
+    try:
+        if args.baseline:
+            worktree = tempfile.mkdtemp(prefix="bench-baseline-")
+            subprocess.run(
+                ["git", "worktree", "add", "--detach", worktree, args.baseline],
+                cwd=REPO_ROOT,
+                check=True,
+                capture_output=True,
+            )
+            baseline_src = pathlib.Path(worktree) / "src"
+            print(f"baseline: {args.baseline} in {worktree}", flush=True)
+        started = time.strftime("%Y-%m-%dT%H:%M:%S")
+        results = run_cases(cases, current_src, baseline_src, reps)
+    finally:
+        if worktree is not None:
+            subprocess.run(
+                ["git", "worktree", "remove", "--force", worktree],
+                cwd=REPO_ROOT,
+                capture_output=True,
+            )
+
+    report = {
+        "schema": "repro.bench_simulator/v1",
+        "generated": started,
+        "generated_by": "benchmarks/bench_simulator.py",
+        "mode": "smoke" if args.smoke else "full",
+        "reps_per_case": reps,
+        "baseline_rev": args.baseline,
+        "python": sys.version.split()[0],
+        "cases": results,
+        "acceptance": ACCEPTANCE if args.baseline else None,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}", flush=True)
+
+    if args.baseline and not args.smoke:
+        ok = True
+        for case, key in (
+            ("fig9_point_load20", "fig9_point_load20_min_speedup"),
+            ("fig9_point_saturation", "fig9_point_saturation_min_speedup"),
+        ):
+            speedup = results[case]["speedup"]
+            bar = ACCEPTANCE[key]
+            status = "ok" if speedup >= bar else "BELOW BAR"
+            print(f"acceptance {case}: {speedup:.2f}x (>= {bar}x): {status}")
+            ok = ok and speedup >= bar
+        return 0 if ok else 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

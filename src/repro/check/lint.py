@@ -20,6 +20,15 @@ of the codebase:
     Library modules must not print; results flow through return values
     and the stats pipeline.  CLI entry points (``__main__.py`` modules
     and the ``check`` package) are exempt.
+
+``REP004`` no ``dict.setdefault`` in the simulator core
+    The active-set engine replaced every per-event ``setdefault`` on
+    the hot path with flat preallocated lists and calendar-queue rings
+    (see docs/simulator-performance.md).  A ``setdefault`` creeping
+    back into ``repro.network.simulator`` silently reverts that --
+    each call hashes a key and allocates a default even on hits.  Use
+    a preallocated flat structure, or an explicit get/store when the
+    code is genuinely cold.
 """
 
 from __future__ import annotations
@@ -39,6 +48,11 @@ ALLOWED_RANDOM_ATTRS = frozenset({"Random", "SystemRandom"})
 #: Path fragments (relative, POSIX-style) exempt from the print rule.
 PRINT_EXEMPT_PARTS = ("__main__.py",)
 PRINT_EXEMPT_PACKAGES = ("check",)
+
+#: Modules where ``dict.setdefault`` is banned outright (REP004): the
+#: simulator hot path, which the active-set engine keeps allocation- and
+#: hash-free per event.
+SETDEFAULT_BANNED_MODULES = frozenset({"network/simulator.py"})
 
 
 def _is_dataclass_with_slots(node: ast.ClassDef) -> bool:
@@ -85,6 +99,7 @@ class _Linter(ast.NodeVisitor):
         self._print_exempt = relative.endswith(PRINT_EXEMPT_PARTS) or any(
             part in PRINT_EXEMPT_PACKAGES for part in Path(relative).parts
         )
+        self._setdefault_banned = relative in SETDEFAULT_BANNED_MODULES
 
     def _add(self, code: str, node: ast.AST, message: str) -> None:
         lineno = getattr(node, "lineno", 0)
@@ -137,6 +152,18 @@ class _Linter(ast.NodeVisitor):
                 "REP003", node,
                 "print() in library code; return data or use the stats "
                 "pipeline (CLI __main__ modules are exempt)",
+            )
+        if (
+            self._setdefault_banned
+            and isinstance(func, ast.Attribute)
+            and func.attr == "setdefault"
+        ):
+            self._add(
+                "REP004", node,
+                "setdefault() in the simulator core; the active-set "
+                "engine keeps the hot path free of per-event hashing "
+                "and default allocation -- use a preallocated flat "
+                "structure (see docs/simulator-performance.md)",
             )
         self.generic_visit(node)
 

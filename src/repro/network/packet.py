@@ -23,6 +23,23 @@ class RoutePlan:
     minimal: bool
     gc1: Optional[GlobalLink] = None
     gc2: Optional[GlobalLink] = None
+    #: Simulator-internal partial memo keys, one per global-channel
+    #: phase, derived from the plan's links so the engine's next-hop
+    #: memo can key on small ints instead of hashing link objects per
+    #: hop.  A pure function of the plan's contents (equal plans get
+    #: equal keys).  Excluded from equality/repr; ``None`` until the
+    #: simulator interns the plan.
+    hop_key: Optional[Tuple[int, int]] = field(
+        default=None, compare=False, repr=False
+    )
+    #: UGAL-internal first-hop cache: ``{src_router: (port, vc)}`` for
+    #: the gc1 phase, which is a pure function of (plan contents,
+    #: source router).  Living on the plan, entries can never outlive
+    #: the topology that produced the plan.  Excluded from
+    #: equality/repr; ``None`` until first used.
+    first_hops: Optional[Dict[int, Tuple[int, int]]] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def num_global_hops(self) -> int:
@@ -83,9 +100,9 @@ class Flit:
     defined by the routing executor (for the dragonfly it counts global
     channels crossed).  ``next_progress`` is the value ``progress`` takes
     after the current hop, computed together with the output port.
-    ``upstream`` identifies the (router, out_port, vc, channel_latency)
-    whose credit must be returned -- after the channel latency -- when
-    this flit leaves its current buffer.
+    ``upstream`` identifies the buffer slot one hop upstream whose
+    credit must be returned -- after the channel latency -- when this
+    flit leaves its current buffer.
     """
 
     packet: Packet
@@ -93,13 +110,12 @@ class Flit:
     is_tail: bool = True
     progress: int = 0
     next_progress: int = 0
-    # Next-hop decision at the current router, set on enqueue.
-    out_port: int = -1
-    out_vc: int = -1
     # Input (port * num_vcs + vc) slot occupied at the current router.
     in_idx: int = -1
-    # Credit return target: (router, out_port, vc, latency) one hop upstream.
-    upstream: Optional[Tuple[int, int, int, int]] = None
+    # Credit return target one hop upstream: (credit slot index
+    # ``router * radix * vcs + out_port * vcs + vc``, flat
+    # ``router * radix + out_port`` channel-info index, channel latency).
+    upstream: Optional[Tuple[int, int, int]] = None
     # Kind of the channel the flit arrived on (None right after injection);
     # the credit-delay mechanism never delays credits that must cross a
     # global channel.

@@ -30,6 +30,18 @@ the excess ``t_d(O) = t_crt(O) - t_crt0(O)`` in a register, and delays
 credits it returns upstream by ``gain * (t_d(O) - min_o t_d(o))``.
 Credits that cross global channels are never delayed, which keeps the
 expensive global channels fully utilisable and breaks feedback cycles.
+
+Engine organisation (see ``docs/simulator-performance.md``): the core
+loop is *occupancy-driven* -- per-cycle work is proportional to traffic,
+not machine size.  Every per-router counter lives in a flat list indexed
+by precomputed bases (``router * radix * vcs + port * vcs + vc``); each
+router keeps a bitmask of output ports with queued flits, and the switch
+visits only those (routers with an empty mask are skipped entirely).
+Channel and credit events travel through fixed-horizon calendar-queue
+rings instead of hashed event maps; credit events whose delay exceeds
+the ring horizon spill into an overflow map.  All of this is behaviour
+preserving: the golden fixtures under ``tests/golden/`` pin the engine's
+output bit for bit.
 """
 
 from __future__ import annotations
@@ -42,11 +54,26 @@ from ..routing.base import RoutingAlgorithm
 from ..topology.base import ChannelKind
 from ..topology.dragonfly import Dragonfly
 from .config import SimulationConfig
-from .packet import Flit, Packet, make_flits
+from .packet import Flit, Packet, RoutePlan, make_flits
 from .stats import LatencySample, SimulationResult
 
-#: (dst_router, dst_port, latency, is_global, channel_index)
+#: (dst_router, dst_in_base, latency, is_global, channel_index) where
+#: ``dst_in_base`` is the absolute VC-slot base of the downstream input
+#: (``dst_router * radix * vcs + dst_port * vcs``), so arrival delivery
+#: only adds the VC.
 _ChannelInfo = Tuple[int, int, int, bool, int]
+
+#: Entry cap for the next-hop memo (see ``_enqueue``).  Hop results are
+#: tiny but key diversity grows with ``routers x destinations x plans``;
+#: past the cap lookups still hit the hot entries populated first, we
+#: just stop inserting cold ones.
+_HOP_CACHE_MAX = 1 << 18
+
+#: Extra calendar-queue slots for delayed credits beyond the maximum
+#: channel round trip.  UGAL-L_CR's credit delay is unbounded in theory
+#: (it scales with sensed queueing), so delays beyond the horizon fall
+#: back to an overflow map -- the ring only has to catch the common case.
+_CREDIT_RING_SLACK = 128
 
 
 class _Stream:
@@ -89,78 +116,154 @@ class Simulator:
         num_routers = topology.fabric.num_routers
         radix = topology.fabric.max_radix()
         vcs = config.num_vcs
+        rv = radix * vcs
         self._num_routers = num_routers
         self._radix = radix
         self._vcs = vcs
+        self._rv = rv
         self._depth = config.vc_buffer_depth
         self._multi_flit = config.packet_size > 1
+        self._request_reply = config.request_reply
 
-        # Per-router state.  Buffer *space* is accounted per input
-        # (port, VC) slot; buffered flits are *queued* per output
-        # (port, VC) so the switch has no input HOL blocking.
-        self._buf_count: List[List[int]] = [
-            [0] * (radix * vcs) for _ in range(num_routers)
-        ]
-        self._out_q: List[List[Deque[Flit]]] = [
-            [deque() for _ in range(radix * vcs)] for _ in range(num_routers)
-        ]
-        self._credits: List[List[int]] = [
-            [config.vc_buffer_depth] * (radix * vcs) for _ in range(num_routers)
-        ]
-        self._pending: List[List[int]] = [[0] * radix for _ in range(num_routers)]
-        self._pending_vc: List[List[int]] = [
-            [0] * (radix * vcs) for _ in range(num_routers)
-        ]
-        self._rr_vc: List[List[int]] = [[0] * radix for _ in range(num_routers)]
-        # Multi-flit mode: per-router map (out_idx, packet index) -> the
+        # Per-router state, flattened into contiguous lists indexed by
+        # ``router * rv + port * vcs + vc`` (per input/output VC slot) or
+        # ``router * radix + port`` (per port).  Buffer *space* is
+        # accounted per input (port, VC) slot; buffered flits are
+        # *queued* per output (port, VC) so the switch has no input HOL
+        # blocking.
+        self._buf_count: List[int] = [0] * (num_routers * rv)
+        self._out_q: List[Deque] = [deque() for _ in range(num_routers * rv)]
+        self._credits: List[int] = [config.vc_buffer_depth] * (num_routers * rv)
+        self._pending: List[int] = [0] * (num_routers * radix)
+        self._pending_vc: List[int] = [0] * (num_routers * rv)
+        self._rr_vc: List[int] = [0] * (num_routers * radix)
+        # Active set: per-router bitmask of output ports with queued
+        # flits (a port's bit is set iff its pending counter is > 0) and
+        # the set of routers whose mask is non-zero.  _enqueue/_forward
+        # keep both exact, so _switch touches only occupied ports.
+        self._active_mask: List[int] = [0] * num_routers
+        self._active_routers: set = set()
+        # Multi-flit mode: (absolute out_idx, packet index) -> the
         # packet's open stream, for appending body flits.
-        self._streams: List[Dict[Tuple[int, int], _Stream]] = [
-            {} for _ in range(num_routers)
-        ]
+        self._streams: Dict[Tuple[int, int], _Stream] = {}
 
-        # Static wiring lookups.
-        self._channel_info: List[List[Optional[_ChannelInfo]]] = [
-            [None] * radix for _ in range(num_routers)
-        ]
+        # Static wiring lookups, flat per (router * radix + port).
+        self._channel_info: List[Optional[_ChannelInfo]] = [None] * (
+            num_routers * radix
+        )
         self._network_ports: List[List[int]] = [[] for _ in range(num_routers)]
+        #: Terminal index attached at (router * radix + port), -1 if none.
+        self._eject_terminal: List[int] = [-1] * (num_routers * radix)
         fabric = topology.fabric
+        max_latency = 1
         for router in range(num_routers):
             for port in fabric.ports(router):
                 channel = fabric.out_channel(router, port)
                 if channel is None:
+                    terminal = fabric.terminal_at(router, port)
+                    if terminal is not None:
+                        self._eject_terminal[router * radix + port] = terminal.index
                     continue
-                self._channel_info[router][port] = (
+                # The router pipeline is modelled as extra per-hop
+                # flight time; credits return over the same delay.
+                latency = channel.latency + config.router_pipeline_cycles
+                if latency < 1:
+                    raise ValueError(
+                        f"channel {channel.index} has non-positive hop "
+                        f"latency {latency}; the engine needs >= 1 cycle"
+                    )
+                if latency > max_latency:
+                    max_latency = latency
+                self._channel_info[router * radix + port] = (
                     channel.dst.router,
-                    channel.dst.port,
-                    # The router pipeline is modelled as extra per-hop
-                    # flight time; credits return over the same delay.
-                    channel.latency + config.router_pipeline_cycles,
+                    channel.dst.router * rv + channel.dst.port * vcs,
+                    latency,
                     channel.kind == ChannelKind.GLOBAL,
                     channel.index,
                 )
                 self._network_ports[router].append(port)
 
-        # Credit round-trip sensing (UGAL-L_CR).
-        self._credit_delay_enabled = routing.needs_credit_delay
-        self._ctq: List[List[Deque[int]]] = [
-            [deque() for _ in range(radix)] for _ in range(num_routers)
+        # Next-hop memo (see ``_hop``): the default dragonfly executor
+        # is a pure function of (plan contents, router, progress,
+        # destination), so its results can be cached across packets.
+        # Plans are interned at decide time (``hop_key`` holds partial
+        # keys derived from the plan's global links) and the memo
+        # mirrors the executor's three phases, each of which depends on
+        # only a slice of the arguments, so the keys are coarse and the
+        # hit rates high.  Disabled when the routing overrides
+        # ``next_hop`` -- a custom executor may not be pure (or may not
+        # use dragonfly plans at all).
+        self._hop_cache_enabled = (
+            type(routing).next_hop is RoutingAlgorithm.next_hop
+        )
+        #: Dense id per directed global link, in deterministic
+        #: (router, port) order, for packing hop-memo keys.
+        self._link_ids: Dict = {}
+        if self._hop_cache_enabled and hasattr(topology, "global_links_of"):
+            for router in range(num_routers):
+                for link in topology.global_links_of(router):
+                    if link not in self._link_ids:
+                        self._link_ids[link] = len(self._link_ids)
+        #: Phase caches: toward gc1 (progress 0), toward gc2 (progress
+        #: 1), both keyed ``hop_key[phase] + router``; and the final
+        #: local hop keyed ``router * num_routers + dst_router``.
+        self._hop_cache0: Dict[int, Tuple[int, int, int]] = {}
+        self._hop_cache1: Dict[int, Tuple[int, int, int]] = {}
+        self._hop_cache2: Dict[int, Tuple[int, int]] = {}
+        self._num_terminals = topology.num_terminals
+        #: Destination router and ejection (port, vc) per terminal.
+        self._dst_router: List[int] = [
+            topology.terminal_router(t) for t in range(self._num_terminals)
         ]
-        self._td: List[List[float]] = [[0.0] * radix for _ in range(num_routers)]
-        self._tcrt0: List[List[int]] = [[0] * radix for _ in range(num_routers)]
+        self._eject_hop: List[Tuple[int, int]] = [
+            (topology.terminal_port(t), 0) for t in range(self._num_terminals)
+        ]
+        #: Round-robin VC visit orders: ``_vc_order[start]`` is the full
+        #: rotation starting at ``start``, precomputed so the switch
+        #: avoids per-probe modular arithmetic.
+        self._vc_order: List[Tuple[int, ...]] = [
+            tuple((start + offset) % vcs for offset in range(vcs))
+            for start in range(vcs)
+        ]
+
+        # Credit round-trip sensing (UGAL-L_CR), flat per (router, port).
+        # ``_td_min`` caches ``min_o t_d(o)`` over each router's network
+        # ports; _deliver_credits keeps it exact on every t_d update so
+        # _forward never recomputes the min per forwarded flit.
+        self._credit_delay_enabled = routing.needs_credit_delay
+        self._credit_gain = config.credit_delay_gain
+        self._ctq: List[Deque[int]] = [deque() for _ in range(num_routers * radix)]
+        self._td: List[float] = [0.0] * (num_routers * radix)
+        self._td_min: List[float] = [0.0] * num_routers
+        self._tcrt0: List[int] = [0] * (num_routers * radix)
         for router in range(num_routers):
             for port in self._network_ports[router]:
-                info = self._channel_info[router][port]
+                info = self._channel_info[router * radix + port]
                 assert info is not None
                 # Zero-load round trip: flit flight + same-cycle downstream
                 # forwarding + credit flight.  Timestamps are taken when
                 # the flit is *enqueued* toward the output, so t_crt
                 # includes queueing toward O at this router -- the
                 # congestion the mechanism exists to sense.
-                self._tcrt0[router][port] = 2 * info[2]
+                self._tcrt0[router * radix + port] = 2 * info[2]
 
-        # Event wheels keyed by absolute cycle.
-        self._arrivals: Dict[int, List[Tuple[int, int, Flit]]] = {}
-        self._credit_events: Dict[int, List[Tuple[int, int]]] = {}
+        # Calendar-queue event wheels.  An event scheduled ``offset``
+        # cycles ahead lands in slot ``(now + offset) % size``; since
+        # every offset is in [1, size] and slot ``t % size`` is drained
+        # at the start of cycle ``t`` (before any same-cycle scheduling),
+        # slots never mix events of different cycles.  Arrival offsets
+        # are channel latencies, bounded by ``max_latency``; credit
+        # offsets additionally carry the UGAL-L_CR delay, so they get
+        # slack plus an overflow map for delays beyond the horizon.
+        self._arrival_ring_size = max_latency
+        self._arrival_ring: List[List[Tuple[int, int, Flit]]] = [
+            [] for _ in range(self._arrival_ring_size)
+        ]
+        self._credit_ring_size = max_latency + _CREDIT_RING_SLACK
+        self._credit_ring: List[List[Tuple[int, int]]] = [
+            [] for _ in range(self._credit_ring_size)
+        ]
+        self._credit_overflow: Dict[int, List[Tuple[int, int]]] = {}
 
         # Injection state per terminal.
         num_terminals = topology.num_terminals
@@ -168,6 +271,11 @@ class Simulator:
         self._inflight_injection: List[Deque[Flit]] = [deque() for _ in range(num_terminals)]
         self._terminal_router = [fabric.terminals[t].router for t in range(num_terminals)]
         self._terminal_port = [fabric.terminals[t].port for t in range(num_terminals)]
+        #: Absolute base of the (router, injection port) VC slots.
+        self._inject_base = [
+            self._terminal_router[t] * rv + self._terminal_port[t] * vcs
+            for t in range(num_terminals)
+        ]
 
         # Measurement state.
         self._packet_counter = 0
@@ -175,7 +283,9 @@ class Simulator:
         self._outstanding_tagged = 0
         self._samples: List[LatencySample] = []
         self._ejected_flits_in_window = 0
-        self._global_channel_flits: Dict[int, int] = {}
+        #: Flits per directed channel index during the window (dense;
+        #: converted to the sparse dict of SimulationResult at run end).
+        self._global_flits: List[int] = [0] * fabric.num_channels
         self._measure_start = config.warmup_cycles
         self._measure_end = config.warmup_cycles + config.measure_cycles
         # Bulk-synchronous mode: the whole workload is created up front
@@ -212,36 +322,53 @@ class Simulator:
         ``q1`` reflects the remote global-channel queue ``q0`` only after
         ``q0`` is completely full.
         """
-        return self._pending[router][out_port]
+        return self._pending[router * self._radix + out_port]
 
     def output_vc_occupancy(self, router: int, out_port: int, vc: int) -> int:
         """Per-VC component of :meth:`output_occupancy`."""
-        return self._pending_vc[router][out_port * self._vcs + vc]
+        return self._pending_vc[router * self._rv + out_port * self._vcs + vc]
 
     def check_invariants(self) -> None:
         """Flow-control invariants; raises AssertionError on violation.
 
-        Used by the test suite (and callable at any cycle): buffer
-        occupancies stay within the configured depth, credit counters stay
-        in range, and per-output pending counters match the queues.
+        Used by the test suite (and callable at any cycle, including
+        mid-run): buffer occupancies stay within the configured depth,
+        credit counters stay in range, per-output pending counters match
+        the queues, and the active set mirrors the pending counters (a
+        port's bit is set iff its pending counter is > 0, a router is in
+        the active set iff its mask is non-zero).
         """
         depth = self._depth
+        radix = self._radix
+        vcs = self._vcs
+        rv = self._rv
         for router in range(self._num_routers):
-            for index in range(self._radix * self._vcs):
-                assert 0 <= self._buf_count[router][index] <= depth, (
+            vbase = router * rv
+            pbase = router * radix
+            for index in range(rv):
+                assert 0 <= self._buf_count[vbase + index] <= depth, (
                     f"buffer {index} of router {router} out of range"
                 )
-                assert 0 <= self._credits[router][index] <= depth, (
+                assert 0 <= self._credits[vbase + index] <= depth, (
                     f"credit counter {index} of router {router} out of range"
                 )
-            for port in range(self._radix):
+            mask = 0
+            for port in range(radix):
                 queued = sum(
-                    self._pending_vc[router][port * self._vcs + vc]
-                    for vc in range(self._vcs)
+                    self._pending_vc[vbase + port * vcs + vc]
+                    for vc in range(vcs)
                 )
-                assert queued == self._pending[router][port], (
+                assert queued == self._pending[pbase + port], (
                     f"pending counter of router {router} port {port} drifted"
                 )
+                if queued:
+                    mask |= 1 << port
+            assert mask == self._active_mask[router], (
+                f"active port mask of router {router} drifted"
+            )
+            assert (router in self._active_routers) == bool(mask), (
+                f"active router set drifted at router {router}"
+            )
 
     # ------------------------------------------------------------------
     # Run loop
@@ -249,21 +376,27 @@ class Simulator:
     def run(self) -> SimulationResult:
         config = self.config
         limit = self._measure_end + config.drain_max_cycles
+        measure_end = self._measure_end
         drained = False
+        deliver_arrivals = self._deliver_arrivals
+        deliver_credits = self._deliver_credits
+        inject = self._inject
+        switch = self._switch
         for now in range(limit):
             self.now = now
-            self._deliver_arrivals(now)
-            self._deliver_credits(now)
-            self._inject(now)
-            self._switch()
-            if now == self._measure_end:
-                queues = self._source_queue
-                self._source_queue_at_end = sum(
-                    len(queue) for queue in queues
-                ) / max(1, len(queues))
-            if now >= self._measure_end and self._outstanding_tagged == 0:
-                drained = True
-                break
+            deliver_arrivals(now)
+            deliver_credits(now)
+            inject(now)
+            switch()
+            if now >= measure_end:
+                if now == measure_end:
+                    queues = self._source_queue
+                    self._source_queue_at_end = sum(
+                        len(queue) for queue in queues
+                    ) / max(1, len(queues))
+                if self._outstanding_tagged == 0:
+                    drained = True
+                    break
         return SimulationResult(
             routing_name=self.routing.name,
             pattern_name=getattr(self.pattern, "name", "custom"),
@@ -273,7 +406,11 @@ class Simulator:
             drained=drained,
             samples=self._samples,
             ejected_flits_in_window=self._ejected_flits_in_window,
-            global_channel_flits=self._global_channel_flits,
+            global_channel_flits={
+                index: count
+                for index, count in enumerate(self._global_flits)
+                if count
+            },
             unfinished_tagged=self._outstanding_tagged,
             warmup_cycles=config.warmup_cycles,
             total_cycles=self.now + 1,
@@ -284,251 +421,605 @@ class Simulator:
     # Phase 1: channel and credit deliveries
     # ------------------------------------------------------------------
     def _deliver_arrivals(self, now: int) -> None:
-        batch = self._arrivals.pop(now, None)
+        batch = self._arrival_ring[now % self._arrival_ring_size]
         if not batch:
             return
-        for router, port, flit in batch:
-            assert flit.upstream is not None
-            in_idx = port * self._vcs + flit.upstream[2]
-            self._enqueue(router, in_idx, flit)
+        if self._multi_flit or not self._hop_cache_enabled:
+            enqueue = self._enqueue
+            for router, in_idx, flit in batch:
+                enqueue(router, in_idx, flit)
+            batch.clear()
+            return
+        # Single-flit fast path: ``_enqueue`` (and ``_hop``'s phase
+        # dispatch) inlined so the state bindings are paid once per
+        # batch instead of once per flit (every flit is a head flit
+        # here).  Mirrors ``_enqueue`` exactly.
+        radix = self._radix
+        vcs = self._vcs
+        hop = self._hop
+        cache0 = self._hop_cache0
+        cache1 = self._hop_cache1
+        cache2 = self._hop_cache2
+        dst_routers = self._dst_router
+        eject_hop = self._eject_hop
+        num_routers = self._num_routers
+        channel_info = self._channel_info
+        credit_delay = self._credit_delay_enabled
+        ctq = self._ctq
+        buf_count = self._buf_count
+        out_q = self._out_q
+        pending = self._pending
+        pending_vc = self._pending_vc
+        active_mask = self._active_mask
+        active_routers = self._active_routers
+        for router, in_idx, flit in batch:
+            packet = flit.packet
+            plan = packet.plan
+            hop_key = plan.hop_key
+            dst = packet.dst_terminal
+            progress = flit.progress
+            if hop_key is None:
+                h = self.routing.next_hop(self.topology, router, plan, progress, dst)
+                out_port, out_vc, flit.next_progress = h
+            elif progress == 0 and plan.gc1 is not None:
+                h = cache0.get(hop_key[0] + router)
+                if h is None:
+                    h = hop(plan, hop_key, router, 0, dst)
+                out_port, out_vc, flit.next_progress = h
+            elif progress == 1 and plan.gc2 is not None:
+                h = cache1.get(hop_key[1] + router)
+                if h is None:
+                    h = hop(plan, hop_key, router, 1, dst)
+                out_port, out_vc, flit.next_progress = h
+            else:
+                dst_router = dst_routers[dst]
+                if router == dst_router:
+                    out_port, out_vc = eject_hop[dst]
+                    flit.next_progress = progress
+                else:
+                    h2 = cache2.get(router * num_routers + dst_router)
+                    if h2 is None:
+                        h = self.routing.next_hop(
+                            self.topology, router, plan, progress, dst
+                        )
+                        cache2[router * num_routers + dst_router] = (h[0], h[1])
+                        out_port, out_vc, flit.next_progress = h
+                    else:
+                        out_port, out_vc = h2
+                        flit.next_progress = progress
+            p_idx = router * radix + out_port
+            if packet.vc_class and channel_info[p_idx] is not None:
+                out_vc += 3 * packet.vc_class
+            # (No ``hop_assignment`` store: single-flit packets have no
+            # body flits to replay the head's decision, and the source
+            # router's entry -- the one injection retries read -- was
+            # written at inject time.)
+            flit.in_idx = in_idx
+            if credit_delay and channel_info[p_idx] is not None:
+                ctq[p_idx].append(now)
+            buf_count[in_idx] += 1
+            out_idx = p_idx * vcs + out_vc
+            out_q[out_idx].append(flit)
+            count = pending[p_idx] + 1
+            pending[p_idx] = count
+            if count == 1:
+                mask = active_mask[router]
+                if not mask:
+                    active_routers.add(router)
+                active_mask[router] = mask | (1 << out_port)
+            pending_vc[out_idx] += 1
+        batch.clear()
 
     def _deliver_credits(self, now: int) -> None:
-        batch = self._credit_events.pop(now, None)
+        batch = self._credit_ring[now % self._credit_ring_size]
+        if self._credit_overflow:
+            overflow = self._credit_overflow.pop(now, None)
+            if overflow:
+                batch.extend(overflow)
         if not batch:
             return
-        for router, index in batch:
-            self._credits[router][index] += 1
-            if self._credit_delay_enabled:
-                port = index // self._vcs
-                ctq = self._ctq[router][port]
+        credits = self._credits
+        if not self._credit_delay_enabled:
+            for credit_idx, _ in batch:
+                credits[credit_idx] += 1
+        else:
+            td = self._td
+            radix = self._radix
+            for credit_idx, port_idx in batch:
+                credits[credit_idx] += 1
+                ctq = self._ctq[port_idx]
                 if ctq:
                     t_crt = now - ctq.popleft()
-                    excess = t_crt - self._tcrt0[router][port]
-                    self._td[router][port] = float(max(0, excess))
+                    excess = t_crt - self._tcrt0[port_idx]
+                    new = float(excess) if excess > 0 else 0.0
+                    old = td[port_idx]
+                    if new != old:
+                        td[port_idx] = new
+                        router = port_idx // radix
+                        minimum = self._td_min[router]
+                        if new < minimum:
+                            self._td_min[router] = new
+                        elif old == minimum:
+                            # The old value defined the min and rose:
+                            # recompute over this router's network ports.
+                            base = router * radix
+                            self._td_min[router] = min(
+                                td[base + port]
+                                for port in self._network_ports[router]
+                            )
+        batch.clear()
 
     # ------------------------------------------------------------------
     # Phase 2: injection
     # ------------------------------------------------------------------
     def _inject(self, now: int) -> None:
-        config = self.config
+        source_queue = self._source_queue
+        inflight = self._inflight_injection
+        inject_one = self._inject_one
         if self._bulk_mode:
-            for terminal in range(len(self._source_queue)):
-                self._inject_one(terminal, now)
+            for terminal in range(len(source_queue)):
+                if source_queue[terminal] or inflight[terminal]:
+                    inject_one(terminal, now)
             return
+        config = self.config
         packet_prob = config.load / config.packet_size
-        rng = self._rng_traffic
+        packet_size = config.packet_size
+        rng_random = self._rng_traffic.random
+        pattern = self.pattern
         tagged_window = self._measure_start <= now < self._measure_end
-        for terminal in range(len(self._source_queue)):
-            if rng.random() < packet_prob:
+        counter = self._packet_counter
+        for terminal in range(len(source_queue)):
+            # The Bernoulli draw happens for every terminal every cycle
+            # (the traffic stream is part of the determinism contract);
+            # only the injection attempt is skipped for idle terminals.
+            if rng_random() < packet_prob:
+                # Positional construction (fields: index, src, dst,
+                # creation_time, size, plan, measured): kwarg binding is
+                # measurable at one packet per terminal-cycle.
                 packet = Packet(
-                    index=self._packet_counter,
-                    src_terminal=terminal,
-                    dst_terminal=self.pattern(terminal),
-                    creation_time=now,
-                    size=config.packet_size,
-                    measured=tagged_window,
+                    counter, terminal, pattern(terminal), now, packet_size,
+                    None, tagged_window,
                 )
-                self._packet_counter += 1
+                counter += 1
                 if tagged_window:
                     self._outstanding_tagged += 1
-                self._source_queue[terminal].append(packet)
-            self._inject_one(terminal, now)
+                source_queue[terminal].append(packet)
+                inject_one(terminal, now)
+            elif source_queue[terminal] or inflight[terminal]:
+                inject_one(terminal, now)
+        self._packet_counter = counter
 
     def _inject_one(self, terminal: int, now: int) -> None:
         """Move at most one flit from the terminal into its router."""
         inflight = self._inflight_injection[terminal]
         router = self._terminal_router[terminal]
-        port = self._terminal_port[terminal]
+        base = self._inject_base[terminal]
         if inflight:
             # Continue the current packet; space was reserved at head
             # injection and only this terminal fills the buffer.
             flit = inflight.popleft()
-            in_idx = port * self._vcs + flit.packet.hop_assignment[router][1]
+            in_idx = base + flit.packet.hop_assignment[router][1]
             self._enqueue(router, in_idx, flit)
             return
         queue = self._source_queue[terminal]
         if not queue:
             return
         packet = queue[0]
-        if packet.plan is None:
-            packet.plan = self.routing.decide(
-                self, self.topology, self._rng_route, router, packet.dst_terminal
+        plan = packet.plan
+        hop = None
+        if plan is None:
+            dst = packet.dst_terminal
+            plan = self.routing.decide(
+                self, self.topology, self._rng_route, router, dst
             )
-            first_port, first_vc, _ = self.routing.next_hop(
-                self.topology, router, packet.plan, 0, packet.dst_terminal
-            )
-            packet.hop_assignment[router] = (first_port, first_vc)
-        in_vc = packet.hop_assignment[router][1]
-        in_idx = port * self._vcs + in_vc
-        free = self._depth - self._buf_count[router][in_idx]
-        if free < packet.size:
+            packet.plan = plan
+            hop_key = None
+            if self._hop_cache_enabled and type(plan) is RoutePlan:
+                hop_key = plan.hop_key
+                if hop_key is None:
+                    hop_key = self._intern_plan(plan)
+            if hop_key is not None:
+                hop = self._hop(plan, hop_key, router, 0, dst)
+            else:
+                hop = self.routing.next_hop(self.topology, router, plan, 0, dst)
+            packet.hop_assignment[router] = (hop[0], hop[1])
+            in_idx = base + hop[1]
+        else:
+            # Retry after backpressure: the cheap stored (port, vc) is
+            # enough for the space check; the full hop is recomputed
+            # (a memo hit) only once space is actually available.
+            in_idx = base + packet.hop_assignment[router][1]
+        if self._depth - self._buf_count[in_idx] < packet.size:
             return
         queue.popleft()
         packet.inject_time = now
-        flits = make_flits(packet)
-        self._enqueue(router, in_idx, flits[0])
-        for body in flits[1:]:
-            inflight.append(body)
+        if packet.size != 1 or self._multi_flit:
+            flits = make_flits(packet)
+            self._enqueue(router, in_idx, flits[0])
+            for body in flits[1:]:
+                inflight.append(body)
+            return
+        # Single-flit inline enqueue (mirrors the ``_enqueue`` head path)
+        # reusing the hop already computed at decide time.
+        flit = Flit(packet)
+        if hop is None:
+            dst = packet.dst_terminal
+            hop_key = plan.hop_key if self._hop_cache_enabled else None
+            if hop_key is not None:
+                hop = self._hop(plan, hop_key, router, 0, dst)
+            else:
+                hop = self.routing.next_hop(self.topology, router, plan, 0, dst)
+        out_port, out_vc, flit.next_progress = hop
+        p_idx = router * self._radix + out_port
+        channel = self._channel_info[p_idx]
+        if packet.vc_class and channel is not None:
+            # Protocol classes ride disjoint VC sets (Section 4.1); the
+            # memo holds the raw hop, the offset is applied here.
+            out_vc += 3 * packet.vc_class
+        packet.hop_assignment[router] = (out_port, out_vc)
+        flit.in_idx = in_idx
+        if self._credit_delay_enabled and channel is not None:
+            self._ctq[p_idx].append(now)
+        self._buf_count[in_idx] += 1
+        out_idx = p_idx * self._vcs + out_vc
+        self._out_q[out_idx].append(flit)
+        pending = self._pending
+        count = pending[p_idx] + 1
+        pending[p_idx] = count
+        if count == 1:
+            mask = self._active_mask[router]
+            if not mask:
+                self._active_routers.add(router)
+            self._active_mask[router] = mask | (1 << out_port)
+        self._pending_vc[out_idx] += 1
 
     # ------------------------------------------------------------------
     # Phase 3: switch traversal
     # ------------------------------------------------------------------
+    def _intern_plan(self, plan: RoutePlan) -> Optional[Tuple[int, int]]:
+        """Attach partial hop-memo keys derived from the plan's links.
+
+        ``hop_key[phase]`` is ``(link_id * 2 + minimal) * num_routers``
+        for the phase's global link, so ``hop_key[phase] + router`` is a
+        collision-free small-int memo key.  Keys are a pure function of
+        plan contents, so re-interning an equal plan (or a shared memoised
+        plan across simulators of the same shape) writes the same value.
+        Returns ``None`` for links outside this topology (a hand-built
+        plan), leaving the plan uninterned.
+        """
+        link_ids = self._link_ids
+        gc1 = plan.gc1
+        gc2 = plan.gc2
+        i0 = link_ids.get(gc1) if gc1 is not None else -1
+        i1 = link_ids.get(gc2) if gc2 is not None else -1
+        if i0 is None or i1 is None:
+            return None
+        nr = self._num_routers
+        m = 1 if plan.minimal else 0
+        key = (
+            (i0 * 2 + m) * nr if i0 >= 0 else -1,
+            (i1 * 2 + m) * nr if i1 >= 0 else -1,
+        )
+        plan.hop_key = key
+        return key
+
+    def _hop(
+        self,
+        plan: RoutePlan,
+        hop_key: Tuple[int, int],
+        router: int,
+        progress: int,
+        dst: int,
+    ) -> Tuple[int, int, int]:
+        """Memoised dragonfly next-hop: (out_port, out_vc, next_progress).
+
+        Mirrors the three phases of the default executor
+        (:func:`repro.routing.paths.next_hop`), each of which reads only
+        a slice of the arguments -- so each phase caches under the
+        smallest sound key.  Only used when ``_hop_cache_enabled``
+        (i.e. the routing runs that exact executor); misses populate the
+        caches from the executor itself, so a hit is bit-identical to a
+        call by construction:
+
+        * toward ``gc1`` (``progress == 0``): depends on plan contents
+          and router only -> keyed ``(hop_key, router)``;
+        * toward ``gc2`` (``progress == 1``): same shape;
+        * final phase: ejection depends on the destination terminal
+          alone (precomputed per terminal), the last local hop on
+          ``(router, dst_router)`` alone (progress passes through
+          unchanged -- local and terminal ports never advance it).
+        """
+        if progress == 0 and plan.gc1 is not None:
+            cache = self._hop_cache0
+            key = hop_key[0] + router
+        elif progress == 1 and plan.gc2 is not None:
+            cache = self._hop_cache1
+            key = hop_key[1] + router
+        else:
+            dst_router = self._dst_router[dst]
+            if router == dst_router:
+                port, vc = self._eject_hop[dst]
+                return port, vc, progress
+            cache2 = self._hop_cache2
+            key = router * self._num_routers + dst_router
+            hop2 = cache2.get(key)
+            if hop2 is None:
+                hop = self.routing.next_hop(self.topology, router, plan, progress, dst)
+                cache2[key] = (hop[0], hop[1])
+                return hop
+            return hop2[0], hop2[1], progress
+        hop = cache.get(key)
+        if hop is None:
+            hop = self.routing.next_hop(self.topology, router, plan, progress, dst)
+            if len(cache) < _HOP_CACHE_MAX:
+                cache[key] = hop
+        return hop
+
     def _enqueue(self, router: int, in_idx: int, flit: Flit) -> None:
         packet = flit.packet
         if flit.is_head:
-            out_port, out_vc, next_progress = self.routing.next_hop(
-                self.topology,
-                router,
-                packet.plan,
-                flit.progress,
-                packet.dst_terminal,
-            )
-            if packet.vc_class and self._channel_info[router][out_port] is not None:
-                # Protocol classes ride disjoint VC sets (Section 4.1).
+            plan = packet.plan
+            progress = flit.progress
+            dst = packet.dst_terminal
+            hop_key = plan.hop_key if self._hop_cache_enabled else None
+            if hop_key is not None:
+                hop = self._hop(plan, hop_key, router, progress, dst)
+            else:
+                hop = self.routing.next_hop(
+                    self.topology, router, plan, progress, dst
+                )
+            out_port, out_vc, flit.next_progress = hop
+            p_idx = router * self._radix + out_port
+            if packet.vc_class and self._channel_info[p_idx] is not None:
+                # Protocol classes ride disjoint VC sets (Section 4.1);
+                # the memo holds the raw hop, the offset is applied here.
                 out_vc += 3 * packet.vc_class
             packet.hop_assignment[router] = (out_port, out_vc)
-            flit.next_progress = next_progress
         else:
             out_port, out_vc = packet.hop_assignment[router]
-        flit.out_port = out_port
-        flit.out_vc = out_vc
+            p_idx = router * self._radix + out_port
         flit.in_idx = in_idx
-        if (
-            self._credit_delay_enabled
-            and self._channel_info[router][out_port] is not None
-        ):
+        if self._credit_delay_enabled and self._channel_info[p_idx] is not None:
             # Credit time queue: stamp the flit toward its output now; the
             # stamp is popped when the downstream credit returns, so t_crt
             # measures queueing toward the output plus the round trip.
-            self._ctq[router][out_port].append(self.now)
-        self._buf_count[router][in_idx] += 1
-        out_idx = out_port * self._vcs + out_vc
+            self._ctq[p_idx].append(self.now)
+        self._buf_count[in_idx] += 1
+        out_idx = p_idx * self._vcs + out_vc
         if self._multi_flit:
-            key = (out_idx, packet.index)
+            stream_key = (out_idx, packet.index)
             if flit.is_head:
                 stream = _Stream(packet)
-                self._streams[router][key] = stream
-                self._out_q[router][out_idx].append(stream)
+                self._streams[stream_key] = stream
+                self._out_q[out_idx].append(stream)
             else:
-                stream = self._streams[router][key]
+                stream = self._streams[stream_key]
             stream.flits.append(flit)
         else:
-            self._out_q[router][out_idx].append(flit)
-        self._pending[router][out_port] += 1
-        self._pending_vc[router][out_idx] += 1
+            self._out_q[out_idx].append(flit)
+        pending = self._pending
+        count = pending[p_idx] + 1
+        pending[p_idx] = count
+        if count == 1:
+            mask = self._active_mask[router]
+            if not mask:
+                self._active_routers.add(router)
+            self._active_mask[router] = mask | (1 << out_port)
+        self._pending_vc[out_idx] += 1
 
     def _switch(self) -> None:
-        vcs = self._vcs
-        for router in range(self._num_routers):
-            pending = self._pending[router]
-            out_q = self._out_q[router]
-            rr = self._rr_vc[router]
-            for out_port in range(self._radix):
-                if not pending[out_port]:
-                    continue
-                base = out_port * vcs
-                start = rr[out_port]
-                for offset in range(vcs):
-                    vc = (start + offset) % vcs
-                    queue = out_q[base + vc]
-                    if not queue:
-                        continue
-                    if self._multi_flit:
-                        stream = queue[0]
-                        if not stream.flits:
-                            continue  # owner's next flit still in flight
-                        flit = stream.flits[0]
-                    else:
-                        flit = queue[0]
-                    if self._can_forward(router, out_port, vc, flit):
-                        self._forward(router, out_port, flit)
-                        rr[out_port] = (vc + 1) % vcs
-                        break
-
-    def _can_forward(self, router: int, out_port: int, vc: int, flit: Flit) -> bool:
-        if self._channel_info[router][out_port] is None:
-            return True  # ejection ports sink one flit per cycle
-        available = self._credits[router][out_port * self._vcs + vc]
-        if self._multi_flit and flit.is_head:
-            # Virtual cut-through: reserve room for the whole packet.  The
-            # stream queue guarantees no other packet consumes this VC's
-            # credits before our tail leaves.
-            return available >= flit.packet.size
-        return available >= 1
-
-    def _forward(self, router: int, out_port: int, flit: Flit) -> None:
+        active = self._active_routers
+        if not active:
+            return
         now = self.now
         vcs = self._vcs
-        out_vc = flit.out_vc
-        out_idx = out_port * vcs + out_vc
-        if self._multi_flit:
-            stream = self._out_q[router][out_idx][0]
-            stream.flits.popleft()
-            if flit.is_tail:
-                self._out_q[router][out_idx].popleft()
-                del self._streams[router][(out_idx, flit.packet.index)]
-        else:
-            self._out_q[router][out_idx].popleft()
-        self._pending[router][out_port] -= 1
-        self._pending_vc[router][out_idx] -= 1
-        self._buf_count[router][flit.in_idx] -= 1
-
-        info = self._channel_info[router][out_port]
-
-        # Return the credit for the vacated buffer slot upstream, possibly
-        # delayed by the credit round-trip mechanism.
-        upstream = flit.upstream
-        if upstream is not None:
-            up_router, up_port, up_vc, up_latency = upstream
-            delay = 0
-            if (
-                self._credit_delay_enabled
-                and info is not None
-                and not flit.arrived_on_global
-            ):
-                delay = self._credit_delay(router, out_port)
-            self._credit_events.setdefault(now + up_latency + delay, []).append(
-                (up_router, up_port * vcs + up_vc)
-            )
-
-        if info is None:
-            self._eject(router, out_port, flit, now)
+        radix = self._radix
+        rv = self._rv
+        out_q = self._out_q
+        rr_vc = self._rr_vc
+        credits = self._credits
+        masks = self._active_mask
+        channel_info = self._channel_info
+        vc_order = self._vc_order
+        pending = self._pending
+        pending_vc = self._pending_vc
+        buf_count = self._buf_count
+        streams = self._streams
+        global_flits = self._global_flits
+        arrival_ring = self._arrival_ring
+        arrival_ring_size = self._arrival_ring_size
+        credit_ring = self._credit_ring
+        credit_ring_size = self._credit_ring_size
+        credit_delay = self._credit_delay_enabled
+        td = self._td
+        td_min = self._td_min
+        credit_gain = self._credit_gain
+        measuring = self._measure_start <= now < self._measure_end
+        eject = self._eject
+        # sorted() snapshots the set (forwarding may shrink it) and
+        # fixes the visit order to ascending router, ascending port --
+        # the same order the dense scan used, which sample ordering
+        # (and therefore the golden fixtures) depends on.
+        # Two copies of the arbitration loop: the single-flit one (the
+        # common case) sheds the per-flit stream bookkeeping and
+        # cut-through credit checks of the multi-flit one.  Keep them in
+        # lockstep when editing.
+        if not self._multi_flit:
+            for router in sorted(active):
+                mask = masks[router]
+                qbase = router * rv
+                rbase = router * radix
+                while mask:
+                    low = mask & -mask
+                    mask -= low
+                    out_port = low.bit_length() - 1
+                    p_idx = rbase + out_port
+                    base = qbase + out_port * vcs
+                    info = channel_info[p_idx]
+                    for vc in vc_order[rr_vc[p_idx]]:
+                        out_idx = base + vc
+                        queue = out_q[out_idx]
+                        if not queue:
+                            continue
+                        # Ejection ports sink one flit per cycle; network
+                        # ports need downstream credit.
+                        if info is not None and credits[out_idx] < 1:
+                            continue
+                        flit = queue.popleft()
+                        count = pending[p_idx] - 1
+                        pending[p_idx] = count
+                        if not count:
+                            left = masks[router] & ~low
+                            masks[router] = left
+                            if not left:
+                                active.discard(router)
+                        pending_vc[out_idx] -= 1
+                        buf_count[flit.in_idx] -= 1
+                        # Return the credit for the vacated buffer slot
+                        # upstream (``upstream`` carries the precomputed
+                        # absolute credit/port indices), possibly delayed
+                        # by the credit round-trip mechanism.
+                        upstream = flit.upstream
+                        if upstream is not None:
+                            credit_idx, up_p_idx, offset = upstream
+                            if (
+                                credit_delay
+                                and info is not None
+                                and not flit.arrived_on_global
+                            ):
+                                excess = td[p_idx] - td_min[router]
+                                if excess > 0:
+                                    offset += int(credit_gain * excess)
+                            if offset <= credit_ring_size:
+                                credit_ring[
+                                    (now + offset) % credit_ring_size
+                                ].append((credit_idx, up_p_idx))
+                            else:
+                                overflow = self._credit_overflow
+                                batch = overflow.get(now + offset)
+                                if batch is None:
+                                    overflow[now + offset] = [(credit_idx, up_p_idx)]
+                                else:
+                                    batch.append((credit_idx, up_p_idx))
+                        if info is None:
+                            eject(p_idx, flit, now, measuring)
+                        else:
+                            dst_router, dst_base, latency, is_global, channel_index = info
+                            credits[out_idx] -= 1
+                            flit.progress = flit.next_progress
+                            if is_global and measuring:
+                                global_flits[channel_index] += 1
+                            flit.upstream = (out_idx, p_idx, latency)
+                            flit.arrived_on_global = is_global
+                            arrival_ring[(now + latency) % arrival_ring_size].append(
+                                (dst_router, dst_base + vc, flit)
+                            )
+                        rr_vc[p_idx] = vc + 1 if vc + 1 < vcs else 0
+                        break
             return
+        for router in sorted(active):
+            mask = masks[router]
+            qbase = router * rv
+            rbase = router * radix
+            while mask:
+                low = mask & -mask
+                mask -= low
+                out_port = low.bit_length() - 1
+                p_idx = rbase + out_port
+                base = qbase + out_port * vcs
+                info = channel_info[p_idx]
+                for vc in vc_order[rr_vc[p_idx]]:
+                    out_idx = base + vc
+                    queue = out_q[out_idx]
+                    if not queue:
+                        continue
+                    stream = queue[0]
+                    flits = stream.flits
+                    if not flits:
+                        continue  # owner's next flit still in flight
+                    flit = flits[0]
+                    if info is not None:
+                        # Ejection ports sink one flit per cycle; network
+                        # ports need downstream credit -- a whole packet's
+                        # worth for a virtual cut-through head flit.
+                        available = credits[out_idx]
+                        if flit.is_head:
+                            if available < flit.packet.size:
+                                continue
+                        elif available < 1:
+                            continue
+                    # Forward the flit.  This is the innermost hot path,
+                    # inlined so the state bindings above are paid once
+                    # per cycle instead of once per flit.
+                    flits.popleft()
+                    if flit.is_tail:
+                        queue.popleft()
+                        del streams[(out_idx, flit.packet.index)]
+                    count = pending[p_idx] - 1
+                    pending[p_idx] = count
+                    if not count:
+                        left = masks[router] & ~low
+                        masks[router] = left
+                        if not left:
+                            active.discard(router)
+                    pending_vc[out_idx] -= 1
+                    buf_count[flit.in_idx] -= 1
+                    # Return the credit for the vacated buffer slot
+                    # upstream (``upstream`` carries the precomputed
+                    # absolute credit/port indices), possibly delayed by
+                    # the credit round-trip mechanism.
+                    upstream = flit.upstream
+                    if upstream is not None:
+                        credit_idx, up_p_idx, offset = upstream
+                        if (
+                            credit_delay
+                            and info is not None
+                            and not flit.arrived_on_global
+                        ):
+                            excess = td[p_idx] - td_min[router]
+                            if excess > 0:
+                                offset += int(credit_gain * excess)
+                        if offset <= credit_ring_size:
+                            credit_ring[(now + offset) % credit_ring_size].append(
+                                (credit_idx, up_p_idx)
+                            )
+                        else:
+                            overflow = self._credit_overflow
+                            batch = overflow.get(now + offset)
+                            if batch is None:
+                                overflow[now + offset] = [(credit_idx, up_p_idx)]
+                            else:
+                                batch.append((credit_idx, up_p_idx))
+                    if info is None:
+                        eject(p_idx, flit, now, measuring)
+                    else:
+                        dst_router, dst_base, latency, is_global, channel_index = info
+                        credits[out_idx] -= 1
+                        flit.progress = flit.next_progress
+                        if is_global and measuring:
+                            global_flits[channel_index] += 1
+                        flit.upstream = (out_idx, p_idx, latency)
+                        flit.arrived_on_global = is_global
+                        arrival_ring[(now + latency) % arrival_ring_size].append(
+                            (dst_router, dst_base + vc, flit)
+                        )
+                    rr_vc[p_idx] = vc + 1 if vc + 1 < vcs else 0
+                    break
 
-        dst_router, dst_port, latency, is_global, channel_index = info
-        self._credits[router][out_idx] -= 1
-        flit.progress = flit.next_progress
-        if is_global:
-            if self._measure_start <= now < self._measure_end:
-                self._global_channel_flits[channel_index] = (
-                    self._global_channel_flits.get(channel_index, 0) + 1
-                )
-        flit.upstream = (router, out_port, out_vc, latency)
-        flit.arrived_on_global = is_global
-        self._arrivals.setdefault(now + latency, []).append((dst_router, dst_port, flit))
-
-    def _credit_delay(self, router: int, out_port: int) -> int:
-        """``gain * (t_d(O) - min_o t_d(o))`` over the network outputs."""
-        td = self._td[router]
-        minimum = min(td[port] for port in self._network_ports[router])
-        excess = td[out_port] - minimum
-        if excess <= 0:
-            return 0
-        return int(self.config.credit_delay_gain * excess)
-
-    def _eject(self, router: int, port: int, flit: Flit, now: int) -> None:
-        if self._measure_start <= now < self._measure_end:
+    def _eject(self, p_idx: int, flit: Flit, now: int, measuring: bool) -> None:
+        if measuring:
             self._ejected_flits_in_window += 1
         if not flit.is_tail:
             return
         packet = flit.packet
-        terminal = self.topology.fabric.terminal_at(router, port)
-        assert terminal is not None and terminal.index == packet.dst_terminal, (
+        terminal_index = self._eject_terminal[p_idx]
+        assert terminal_index == packet.dst_terminal, (
             f"packet {packet.index} for terminal {packet.dst_terminal} "
-            f"ejected at router {router} port {port} (misrouted)"
+            f"ejected at router {p_idx // self._radix} port "
+            f"{p_idx % self._radix} (misrouted)"
         )
         packet.eject_time = now + self._terminal_latency
-        if self.config.request_reply and packet.vc_class == 0:
+        if self._request_reply and packet.vc_class == 0:
             # The request stays open until its reply lands; spawn the
             # reply at the destination NIC.
             reply = Packet(

@@ -41,7 +41,15 @@ class UniformRandom:
         self._rng = random.Random(seed)
 
     def __call__(self, src_terminal: int) -> int:
-        dst = self._rng.randrange(self.num_terminals - 1)
+        # Inlined ``randrange`` (state-identical rejection sampling, see
+        # Random._randbelow_with_getrandbits): one draw per packet makes
+        # the call overhead measurable at scale.
+        n = self.num_terminals - 1
+        getrandbits = self._rng.getrandbits
+        k = n.bit_length()
+        dst = getrandbits(k)
+        while dst >= n:
+            dst = getrandbits(k)
         return dst if dst < src_terminal else dst + 1
 
 
@@ -67,9 +75,16 @@ class WorstCase:
             self._per_group = topology.terminals_per_group
 
     def __call__(self, src_terminal: int) -> int:
-        src_group = src_terminal // self._per_group
+        per_group = self._per_group
+        src_group = src_terminal // per_group
         dst_group = (src_group + self.group_offset) % self.topology.g
-        return dst_group * self._per_group + self._rng.randrange(self._per_group)
+        # Inlined ``randrange`` (state-identical, see UniformRandom).
+        getrandbits = self._rng.getrandbits
+        k = per_group.bit_length()
+        r = getrandbits(k)
+        while r >= per_group:
+            r = getrandbits(k)
+        return dst_group * per_group + r
 
 
 class GroupTornado:

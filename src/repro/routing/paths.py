@@ -17,6 +17,11 @@ from ..network.packet import RoutePlan
 from ..topology.dragonfly import Dragonfly, GlobalLink
 from . import vc_assignment as vcs
 
+#: Shared plan for intra-group routes.  Plans are immutable once built
+#: (the simulator only attaches an interned ``hop_key``, identical for
+#: equal contents), so one object serves every same-group packet.
+_INTRA_GROUP_MINIMAL = RoutePlan(minimal=True)
+
 
 def _pick_best_link(
     links: List[GlobalLink],
@@ -46,6 +51,44 @@ def _pick_best_link(
     return candidates[rng.randrange(len(candidates))]
 
 
+def _minimal_plan_between(
+    topology: Dragonfly,
+    rng: random.Random,
+    src_router: int,
+    dst_router: int,
+    src_group: int,
+    dst_group: int,
+) -> RoutePlan:
+    """Minimal plan between distinct groups, routers/groups precomputed.
+
+    Internal fast path shared with the UGAL ``decide`` hot loop.  When
+    ``topology.single_link_pairs`` (exactly one global link per group
+    pair, the canonical ``g = ah + 1`` dragonfly), ``_pick_best_link``
+    has no tie to break -- the plan is a pure function of the group pair
+    and consumes no rng -- so plans are memoised on the topology itself.
+    """
+    if getattr(topology, "single_link_pairs", False):
+        try:
+            memo = topology._minimal_plan_memo
+        except AttributeError:
+            memo = topology._minimal_plan_memo = {}
+        key = src_group * topology.g + dst_group
+        plan = memo.get(key)
+        if plan is None:
+            links = topology.group_links(src_group, dst_group)
+            plan = RoutePlan(
+                minimal=True,
+                gc1=_pick_best_link(links, rng, src_router, dst_router),
+            )
+            memo[key] = plan
+        return plan
+    links = topology.group_links(src_group, dst_group)
+    return RoutePlan(
+        minimal=True,
+        gc1=_pick_best_link(links, rng, src_router, dst_router),
+    )
+
+
 def minimal_plan(
     topology: Dragonfly,
     rng: random.Random,
@@ -57,11 +100,9 @@ def minimal_plan(
     src_group = topology.group_of(src_router)
     dst_group = topology.group_of(dst_router)
     if src_group == dst_group:
-        return RoutePlan(minimal=True)
-    links = topology.group_links(src_group, dst_group)
-    return RoutePlan(
-        minimal=True,
-        gc1=_pick_best_link(links, rng, src_router, dst_router),
+        return _INTRA_GROUP_MINIMAL
+    return _minimal_plan_between(
+        topology, rng, src_router, dst_router, src_group, dst_group
     )
 
 
@@ -84,14 +125,69 @@ def valiant_plan(
     dst_group = topology.group_of(dst_router)
     if topology.g < 2 or src_group == dst_group:
         return minimal_plan(topology, rng, src_router, dst_terminal)
+    return _valiant_plan_between(
+        topology, rng, src_router, dst_router, src_group, dst_group,
+        intermediate_group,
+    )
+
+
+def _valiant_plan_between(
+    topology: Dragonfly,
+    rng: random.Random,
+    src_router: int,
+    dst_router: int,
+    src_group: int,
+    dst_group: int,
+    intermediate_group: Optional[int] = None,
+) -> RoutePlan:
+    """Valiant plan between distinct groups, routers/groups precomputed.
+
+    Internal fast path shared with the UGAL ``decide`` hot loop; draws
+    the intermediate group (one rng call), then -- like
+    :func:`_minimal_plan_between` -- memoises the link choice on the
+    topology when it is a pure function of the group triple.
+    """
     if intermediate_group is None:
-        intermediate_group = rng.randrange(topology.g - 1)
+        # Inlined ``rng.randrange(g - 1)``: the rejection loop below is
+        # exactly ``Random._randbelow_with_getrandbits``, so it consumes
+        # the generator state identically (the determinism contract) at
+        # a fraction of the call overhead.
+        n = topology.g - 1
+        getrandbits = rng.getrandbits
+        k = n.bit_length()
+        r = getrandbits(k)
+        while r >= n:
+            r = getrandbits(k)
+        intermediate_group = r
         if intermediate_group >= src_group:
             intermediate_group += 1
     if intermediate_group == src_group:
         raise ValueError("intermediate group must differ from the source group")
     if intermediate_group == dst_group:
-        return minimal_plan(topology, rng, src_router, dst_terminal)
+        return _minimal_plan_between(
+            topology, rng, src_router, dst_router, src_group, dst_group
+        )
+    if getattr(topology, "single_link_pairs", False):
+        g = topology.g
+        try:
+            memo = topology._valiant_plan_memo
+        except AttributeError:
+            memo = topology._valiant_plan_memo = {}
+        key = (src_group * g + intermediate_group) * g + dst_group
+        plan = memo.get(key)
+        if plan is None:
+            gc1 = _pick_best_link(
+                topology.group_links(src_group, intermediate_group), rng, src_router
+            )
+            gc2 = _pick_best_link(
+                topology.group_links(intermediate_group, dst_group),
+                rng,
+                gc1.dst_router,
+                dst_router,
+            )
+            plan = RoutePlan(minimal=False, gc1=gc1, gc2=gc2)
+            memo[key] = plan
+        return plan
     gc1 = _pick_best_link(
         topology.group_links(src_group, intermediate_group), rng, src_router
     )

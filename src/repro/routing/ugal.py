@@ -46,11 +46,43 @@ from typing import Tuple
 from ..network.packet import RoutePlan
 from ..topology.dragonfly import Dragonfly
 from .base import CongestionView, RoutingAlgorithm
-from .paths import minimal_plan, next_hop, plan_hops, valiant_plan
+from .paths import (
+    _minimal_plan_between,
+    _valiant_plan_between,
+    minimal_plan,
+    next_hop,
+)
 
 
 class _UgalBase(RoutingAlgorithm):
     """Shared candidate construction and comparison logic."""
+
+    @staticmethod
+    def _first_hop(
+        topology: Dragonfly,
+        src_router: int,
+        plan: RoutePlan,
+        dst_terminal: int,
+    ) -> Tuple[int, int]:
+        """Memoised ``next_hop(topology, src_router, plan, 0, dst)``.
+
+        When source and destination group differ (the only case that
+        reaches ``_occupancies``), the first hop is the executor's gc1
+        phase -- a pure function of (plan contents, source router),
+        independent of the destination terminal.  The cache lives on
+        the plan itself (``RoutePlan.first_hops``), so entries can
+        never be confused across topologies or outlive the plan.
+        """
+        if plan.gc1 is None:
+            return next_hop(topology, src_router, plan, 0, dst_terminal)
+        cache = plan.first_hops
+        if cache is None:
+            cache = plan.first_hops = {}
+        hop = cache.get(src_router)
+        if hop is None:
+            hop = next_hop(topology, src_router, plan, 0, dst_terminal)
+            cache[src_router] = hop
+        return hop
 
     def decide(
         self,
@@ -61,16 +93,40 @@ class _UgalBase(RoutingAlgorithm):
         dst_terminal: int,
     ) -> RoutePlan:
         dst_router = topology.terminal_router(dst_terminal)
-        if topology.group_of(src_router) == topology.group_of(dst_router):
+        # group_of, inlined: every group-structured topology here defines
+        # it as integer division by the group size ``a``.
+        a = topology.a
+        src_group = src_router // a
+        dst_group = dst_router // a
+        if src_group == dst_group:
             return minimal_plan(topology, rng, src_router, dst_terminal)
-        min_candidate = minimal_plan(topology, rng, src_router, dst_terminal)
-        nm_candidate = valiant_plan(topology, rng, src_router, dst_terminal)
+        min_candidate = _minimal_plan_between(
+            topology, rng, src_router, dst_router, src_group, dst_group
+        )
+        nm_candidate = _valiant_plan_between(
+            topology, rng, src_router, dst_router, src_group, dst_group
+        )
         if nm_candidate.minimal:
             # The sampled intermediate group was the destination group;
             # the "non-minimal" candidate is the minimal route.
             return min_candidate
-        hops_min = plan_hops(topology, src_router, dst_terminal, min_candidate)
-        hops_nm = plan_hops(topology, src_router, dst_terminal, nm_candidate)
+        # plan_hops, unrolled: both candidates are inter-group, so the
+        # minimal route has gc1 and the non-degenerate Valiant route has
+        # gc1 and gc2 -- the hop counts reduce to endpoint comparisons.
+        gc_min = min_candidate.gc1
+        hops_min = (
+            1
+            + (gc_min.src_router != src_router)
+            + (gc_min.dst_router != dst_router)
+        )
+        gc_nm1 = nm_candidate.gc1
+        gc_nm2 = nm_candidate.gc2
+        hops_nm = (
+            2
+            + (gc_nm1.src_router != src_router)
+            + (gc_nm1.dst_router != gc_nm2.src_router)
+            + (gc_nm2.dst_router != dst_router)
+        )
         q_min, q_nm = self._occupancies(
             view, topology, src_router, dst_terminal, min_candidate, nm_candidate
         )
@@ -97,8 +153,8 @@ class UgalL(_UgalBase):
 
     def _occupancies(self, view, topology, src_router, dst_terminal,
                      min_candidate, nm_candidate):
-        port_min, _ = next_hop(topology, src_router, min_candidate, 0, dst_terminal)
-        port_nm, _ = next_hop(topology, src_router, nm_candidate, 0, dst_terminal)
+        port_min, _ = self._first_hop(topology, src_router, min_candidate, dst_terminal)
+        port_nm, _ = self._first_hop(topology, src_router, nm_candidate, dst_terminal)
         return (
             view.output_occupancy(src_router, port_min),
             view.output_occupancy(src_router, port_nm),
@@ -128,8 +184,8 @@ class UgalLVc(_UgalBase):
 
     def _occupancies(self, view, topology, src_router, dst_terminal,
                      min_candidate, nm_candidate):
-        port_min, vc_min = next_hop(topology, src_router, min_candidate, 0, dst_terminal)
-        port_nm, vc_nm = next_hop(topology, src_router, nm_candidate, 0, dst_terminal)
+        port_min, vc_min = self._first_hop(topology, src_router, min_candidate, dst_terminal)
+        port_nm, vc_nm = self._first_hop(topology, src_router, nm_candidate, dst_terminal)
         return (
             view.output_vc_occupancy(src_router, port_min, vc_min),
             view.output_vc_occupancy(src_router, port_nm, vc_nm),
@@ -143,8 +199,8 @@ class UgalLVcH(_UgalBase):
 
     def _occupancies(self, view, topology, src_router, dst_terminal,
                      min_candidate, nm_candidate):
-        port_min, vc_min = next_hop(topology, src_router, min_candidate, 0, dst_terminal)
-        port_nm, vc_nm = next_hop(topology, src_router, nm_candidate, 0, dst_terminal)
+        port_min, vc_min = self._first_hop(topology, src_router, min_candidate, dst_terminal)
+        port_nm, vc_nm = self._first_hop(topology, src_router, nm_candidate, dst_terminal)
         if port_min == port_nm:
             return (
                 view.output_vc_occupancy(src_router, port_min, vc_min),

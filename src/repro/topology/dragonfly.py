@@ -78,6 +78,13 @@ class Dragonfly:
         self.local_latency = local_latency
         self.global_latency = global_latency
         self.terminal_latency = terminal_latency
+        # Plain attributes (not properties): these sit on the hot path
+        # of routing decisions, where descriptor dispatch is measurable.
+        self.p = params.p
+        self.a = params.a
+        self.h = params.h
+        self.g = params.g
+        self.num_terminals = params.num_terminals
         self.fabric = Fabric(num_routers=params.num_routers, name="dragonfly")
         # (group, group) -> list of directed GlobalLink from first to second
         self._group_links: Dict[Tuple[int, int], List[GlobalLink]] = {}
@@ -90,26 +97,6 @@ class Dragonfly:
     # ------------------------------------------------------------------
     # Identity helpers
     # ------------------------------------------------------------------
-    @property
-    def p(self) -> int:
-        return self.params.p
-
-    @property
-    def a(self) -> int:
-        return self.params.a
-
-    @property
-    def h(self) -> int:
-        return self.params.h
-
-    @property
-    def g(self) -> int:
-        return self.params.g
-
-    @property
-    def num_terminals(self) -> int:
-        return self.params.num_terminals
-
     def group_of(self, router: int) -> int:
         return router // self.a
 
@@ -123,7 +110,7 @@ class Dragonfly:
         return range(group * self.a, (group + 1) * self.a)
 
     def terminal_router(self, terminal: int) -> int:
-        return self.fabric.terminals[terminal].router
+        return self._terminal_routers[terminal]
 
     def terminal_port(self, terminal: int) -> int:
         return self.fabric.terminals[terminal].port
@@ -195,6 +182,20 @@ class Dragonfly:
             else:
                 self._wire_global_distributed()
         self.fabric.validate()
+        #: True when every connected group pair has exactly one global
+        #: link -- the canonical ``g = ah + 1`` dragonfly.  Route-plan
+        #: construction then never has a tie to break (consumes no rng
+        #: beyond the Valiant intermediate-group draw), which lets
+        #: :mod:`repro.routing.paths` memoise plans per group tuple.
+        self.single_link_pairs = all(
+            len(links) == 1 for links in self._group_links.values()
+        )
+        #: Flat terminal -> router table; ``terminal_router`` sits on the
+        #: per-packet routing path, where the ``fabric.terminals[t]``
+        #: attribute chain is measurable.
+        self._terminal_routers = [
+            ref.router for ref in self.fabric.terminals
+        ]
 
     def _group_port_to_router_port(self, group: int, group_port: int) -> PortRef:
         """Map a group-level global port index to a concrete router port."""

@@ -1,4 +1,4 @@
-"""Tests for the repo-specific AST lint (REP001/REP002/REP003)."""
+"""Tests for the repo-specific AST lint (REP001..REP004)."""
 
 import textwrap
 
@@ -101,6 +101,34 @@ class TestPrintRule:
             print("report")
         """, name="check/report_writer.py")
         assert not iter_findings_by_rule(findings, "REP003")
+
+
+class TestSetdefaultRule:
+    def test_setdefault_in_simulator_core_is_flagged(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def deliver(pending, key, flit):
+                pending.setdefault(key, []).append(flit)
+        """, name="network/simulator.py")
+        rep004 = iter_findings_by_rule(findings, "REP004")
+        assert len(rep004) == 1
+        assert rep004[0].location == "network/simulator.py:3"
+
+    def test_setdefault_elsewhere_is_allowed(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def record(groups, key, link):
+                groups.setdefault(key, []).append(link)
+        """, name="topology/dragonfly.py")
+        assert not iter_findings_by_rule(findings, "REP004")
+
+    def test_clean_simulator_module_passes(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def deliver(pending, key, flit):
+                queue = pending.get(key)
+                if queue is None:
+                    queue = pending[key] = []
+                queue.append(flit)
+        """, name="network/simulator.py")
+        assert not iter_findings_by_rule(findings, "REP004")
 
 
 class TestTreeWalk:

@@ -82,16 +82,16 @@ class TestRoundTrip:
         live = Simulator(df, make_routing("UGAL-L_VCH"), pattern, config)
         live.run()
         upper_band_used = any(
-            live._pending_vc[router][index]
+            live.output_vc_occupancy(router, port, vc)
             for router in range(df.fabric.num_routers)
             for port in range(df.params.radix)
-            for index in [port * 6 + vc for vc in (3, 4, 5)]
+            for vc in (3, 4, 5)
         )
         lower_band_used = any(
-            live._pending_vc[router][index]
+            live.output_vc_occupancy(router, port, vc)
             for router in range(df.fabric.num_routers)
             for port in range(df.params.radix)
-            for index in [port * 6 + vc for vc in (0, 1, 2)]
+            for vc in (0, 1, 2)
         )
         assert upper_band_used and lower_band_used
 

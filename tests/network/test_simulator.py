@@ -203,7 +203,7 @@ class TestCreditRoundTripMechanism:
             load=0.3,
             drain_max_cycles=2000,
         )
-        max_td = max(max(per_router) for per_router in simulator._td)
+        max_td = max(simulator._td)
         assert max_td > 0
 
     def test_td_stays_zero_at_trivial_load(self, paper72_dragonfly):
@@ -212,7 +212,7 @@ class TestCreditRoundTripMechanism:
             routing_name="UGAL-L_CR",
             load=0.01,
         )
-        max_td = max(max(per_router) for per_router in simulator._td)
+        max_td = max(simulator._td)
         assert max_td <= 2  # at most scheduling jitter
 
     def test_mechanism_disabled_for_other_algorithms(self, paper72_dragonfly):
@@ -223,7 +223,7 @@ class TestCreditRoundTripMechanism:
             load=0.3,
         )
         assert not simulator._credit_delay_enabled
-        assert all(not any(q) for router in simulator._ctq for q in router)
+        assert all(not queue for queue in simulator._ctq)
 
     def test_cr_reduces_intermediate_latency(self, paper72_dragonfly):
         """The headline Figure 16 effect at unit-test scale."""

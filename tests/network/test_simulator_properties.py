@@ -75,6 +75,35 @@ def test_invariants_and_conservation(setup):
         assert sample.latency >= 1
 
 
+@given(simulation_setup(), st.integers(min_value=3, max_value=17))
+@settings(max_examples=15, deadline=None)
+def test_invariants_hold_mid_run(setup, stride):
+    """The active-set engine keeps the invariants at *every* cycle.
+
+    ``check_invariants`` after ``run()`` only sees the drained end
+    state; this drives the four phases manually (the exact order of
+    ``run``) and re-checks the invariants every ``stride`` cycles while
+    buffers are full and credits are in flight -- the states where a
+    stale active-set bit or pending counter would actually hide.
+    """
+    params, routing_name, config = setup
+    config = dataclasses.replace(
+        config, warmup_cycles=40, measure_cycles=40, drain_max_cycles=0
+    )
+    topology = Dragonfly(params)
+    pattern = make_pattern("uniform_random", topology, seed=config.seed + 1)
+    simulator = Simulator(topology, make_routing(routing_name), pattern, config)
+    for now in range(config.warmup_cycles + config.measure_cycles):
+        simulator.now = now
+        simulator._deliver_arrivals(now)
+        simulator._deliver_credits(now)
+        simulator._inject(now)
+        simulator._switch()
+        if now % stride == 0:
+            simulator.check_invariants()
+    simulator.check_invariants()
+
+
 @given(st.integers(min_value=0, max_value=5000))
 @settings(max_examples=15, deadline=None)
 def test_deliveries_complete_across_seeds(seed):
