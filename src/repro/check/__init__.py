@@ -1,15 +1,22 @@
 """Static analysis for the dragonfly reproduction (``python -m repro.check``).
 
-Three passes certify correctness *before* any simulation runs:
+Four passes certify correctness *before* any simulation runs:
 
 * :mod:`repro.check.cdg` -- channel-dependency-graph certification of
   deadlock freedom for every registered (topology, routing, VC
   assignment) configuration, with concrete counterexample cycles on
   failure;
+* :mod:`repro.check.symbolic` -- channel-class (family-level) deadlock
+  certification from path grammars, covering every (a, p, h, g) at once
+  and cross-checked against the concrete enumerator;
 * :mod:`repro.check.invariants` -- topology invariant linter for the
   paper's parameter algebra and fabric wiring;
 * :mod:`repro.check.lint` -- repo-specific AST lint (seeded randomness,
-  ``__slots__`` on hot-path classes, no ``print`` in library code).
+  ``__slots__`` on hot-path classes, no ``print`` in library code, no
+  ``assert`` in the network engine).
+
+:mod:`repro.check.sanitizer` additionally instruments *running*
+simulations (``REPRO_SANITIZE=1``) with flit/credit conservation audits.
 
 See ``docs/static-analysis.md`` for usage and for how to register a new
 routing algorithm with the certifier.
@@ -39,20 +46,45 @@ from .invariants import (
 from .lint import lint_file, lint_sources, lint_tree
 from .registry import (
     CheckConfiguration,
+    SymbolicScaleConfiguration,
     all_configurations,
     broken_configuration,
     default_configurations,
     register,
+    symbolic_scale_configurations,
 )
 from .report import CheckReport, Finding, Severity, combined_exit_code
+from .sanitizer import (
+    SanitizerError,
+    SimulatorSanitizer,
+    audit_simulator,
+    sanitizer_from_env,
+    structural_findings,
+)
+from .symbolic import (
+    CrossCheck,
+    SymbolicCertification,
+    certify_grammar,
+    class_dependency_graph,
+    cross_check,
+    describe_symbolic_cycle,
+    find_symbolic_counterexample,
+    soundness_harness,
+)
 
 __all__ = [
     "Certification",
     "CheckConfiguration",
     "CheckReport",
+    "CrossCheck",
     "Finding",
+    "SanitizerError",
     "Severity",
+    "SimulatorSanitizer",
+    "SymbolicCertification",
+    "SymbolicScaleConfiguration",
     "all_configurations",
+    "audit_simulator",
     "audit_dragonfly",
     "audit_fabric",
     "audit_flattened_butterfly",
@@ -62,18 +94,27 @@ __all__ = [
     "broken_configuration",
     "cdg_from_traces",
     "certify",
+    "certify_grammar",
+    "class_dependency_graph",
     "combined_exit_code",
+    "cross_check",
     "default_configurations",
     "default_topology_audits",
     "describe_cycle",
+    "describe_symbolic_cycle",
     "dragonfly_traces",
     "find_counterexample",
+    "find_symbolic_counterexample",
     "flattened_butterfly_traces",
     "folded_clos_traces",
     "lint_file",
     "lint_sources",
     "lint_tree",
     "register",
+    "sanitizer_from_env",
+    "soundness_harness",
+    "structural_findings",
+    "symbolic_scale_configurations",
     "torus_traces",
     "variant_traces",
 ]

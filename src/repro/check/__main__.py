@@ -1,29 +1,48 @@
 """``python -m repro.check`` -- the static-analysis gate.
 
-Runs up to three passes and exits nonzero when any produces an ERROR:
+Runs up to four passes and exits nonzero when any produces an ERROR:
 
 * ``cdg``         -- certify deadlock freedom of every registered
-                     (topology, routing, VC assignment) configuration;
+                     (topology, routing, VC assignment) configuration by
+                     concrete route enumeration;
+* ``symbolic``    -- certify whole routing *families* from their path
+                     grammars (channel-class abstraction), cross-checked
+                     against the concrete verdicts, including Table-2
+                     scale parameterisations no enumerator could touch;
 * ``invariants``  -- audit the topology algebra and wiring invariants;
 * ``lint``        -- repo-specific AST lint of ``src/repro``.
 
-With no arguments all three run.  See ``--help`` for selection flags and
-``docs/static-analysis.md`` for the full story.
+With no arguments all four run.  ``--sanitize-fixture NAME`` additionally
+re-simulates a golden fixture under ``REPRO_SANITIZE=1`` and fails on any
+conservation violation or output divergence.  See ``--help`` for
+selection flags and ``docs/static-analysis.md`` for the full story.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
+import pathlib
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from .cdg import certify
 from .invariants import audit_topology, default_topology_audits
 from .lint import lint_sources
-from .registry import all_configurations, broken_configuration
+from .registry import (
+    all_configurations,
+    broken_configuration,
+    symbolic_scale_configurations,
+)
 from .report import CheckReport, Severity, combined_exit_code
+from .symbolic import certify_grammar, soundness_harness
 
-PASSES = ("cdg", "invariants", "lint")
+PASSES = ("cdg", "symbolic", "invariants", "lint")
+
+#: Wall-clock budget for certifying one Table-2-scale parameterisation.
+SCALE_BUDGET_SECONDS = 5.0
 
 
 def run_cdg_pass(demo_broken: bool = False) -> CheckReport:
@@ -61,6 +80,88 @@ def run_cdg_pass(demo_broken: bool = False) -> CheckReport:
     return report
 
 
+def run_symbolic_pass(demo_broken: bool = False) -> CheckReport:
+    """Certify every routing family symbolically and cross-check.
+
+    Three stages: (1) certify each registered configuration's path
+    grammar; (2) certify the Table-2-scale parameterisations (symbolic
+    only -- their concrete CDGs are astronomically large) against the
+    wall-clock budget; (3) run the soundness harness, which re-certifies
+    each finite configuration concretely and demands verdict agreement.
+    """
+    report = CheckReport(pass_name="symbolic")
+    configurations = list(all_configurations())
+    if demo_broken:
+        configurations.append(broken_configuration())
+    for configuration in configurations:
+        if configuration.grammar is None:
+            report.note(
+                f"{configuration.name}: no path grammar registered; "
+                "skipped (concrete cdg pass still covers it)"
+            )
+            continue
+        certification = certify_grammar(
+            configuration.name, configuration.grammar()
+        )
+        report.note(certification.summary())
+        if certification.ok == configuration.expect_deadlock_free:
+            if not certification.ok:
+                report.add(
+                    "SYM002", Severity.INFO, configuration.name,
+                    "expected symbolic counterexample found:\n"
+                    + (certification.cycle_description or ""),
+                )
+            continue
+        if certification.ok:
+            report.add(
+                "SYM003", Severity.ERROR, configuration.name,
+                "grammar documented as deadlocking was certified acyclic; "
+                "negative control has rotted",
+            )
+        else:
+            report.add(
+                "SYM001", Severity.ERROR, configuration.name,
+                "class-level dependency graph is CYCLIC; symbolic "
+                "counterexample:\n"
+                + (certification.cycle_description or ""),
+            )
+    for scale in symbolic_scale_configurations():
+        start = time.perf_counter()
+        certification = certify_grammar(scale.name, scale.grammar())
+        elapsed = time.perf_counter() - start
+        report.note(
+            f"{certification.summary()} "
+            f"[N={scale.num_terminals:,} terminals, {elapsed:.3f}s]"
+        )
+        if not certification.ok:
+            report.add(
+                "SYM001", Severity.ERROR, scale.name,
+                "class-level dependency graph is CYCLIC; symbolic "
+                "counterexample:\n"
+                + (certification.cycle_description or ""),
+            )
+        elif elapsed > SCALE_BUDGET_SECONDS:
+            report.add(
+                "SYM004", Severity.ERROR, scale.name,
+                f"symbolic certification took {elapsed:.1f}s; the budget "
+                f"for Table-2 scale is {SCALE_BUDGET_SECONDS:.0f}s",
+            )
+    for check in soundness_harness(
+        configurations if demo_broken
+        else [*configurations, broken_configuration()]
+    ):
+        report.note(check.summary())
+        if not check.agrees:
+            report.add(
+                "SYM005", Severity.ERROR, check.name,
+                "symbolic and concrete verdicts disagree "
+                f"(symbolic={'free' if check.symbolic.ok else 'cyclic'}, "
+                f"concrete={'free' if check.concrete.ok else 'cyclic'}); "
+                "the grammar's abstraction no longer matches the routes",
+            )
+    return report
+
+
 def run_invariants_pass() -> CheckReport:
     """Audit every registered topology instance."""
     report = CheckReport(pass_name="invariants")
@@ -82,6 +183,64 @@ def run_lint_pass(root: Optional[str] = None) -> CheckReport:
     return report
 
 
+def run_sanitize_pass(fixture: str) -> CheckReport:
+    """Re-simulate a golden fixture under the conservation sanitizer.
+
+    ``fixture`` is a path to a fixture JSON or a bare name resolved
+    against ``tests/golden/``.  The run fails on any conservation
+    violation (the sanitizer's findings are surfaced directly) and on
+    any divergence from the fixture's pinned results -- sanitizing must
+    be behaviour-preserving.
+    """
+    from ..core.params import DragonflyParams
+    from ..network.config import SimulationConfig
+    from ..network.sweep import load_sweep
+    from ..topology.dragonfly import Dragonfly
+    from .sanitizer import ENV_ENABLE, SanitizerError
+
+    report = CheckReport(pass_name="sanitize")
+    path = pathlib.Path(fixture)
+    if not path.is_file():
+        path = pathlib.Path("tests/golden") / f"{fixture}.json"
+    if not path.is_file():
+        report.add(
+            "SAN000", Severity.ERROR, fixture,
+            "fixture not found (pass a JSON path or the stem of a file "
+            "under tests/golden/)",
+        )
+        return report
+    data = json.loads(path.read_text())
+    topology = Dragonfly(DragonflyParams(**data["topology"]))
+    config = SimulationConfig(**data["config"])
+    previous = os.environ.get(ENV_ENABLE)
+    os.environ[ENV_ENABLE] = "1"
+    try:
+        points = load_sweep(
+            topology, data["routing"], data["pattern"], data["loads"], config
+        )
+    except SanitizerError as error:
+        report.extend(error.findings)
+        return report
+    finally:
+        if previous is None:
+            del os.environ[ENV_ENABLE]
+        else:
+            os.environ[ENV_ENABLE] = previous
+    results = [point.result.to_dict() for point in points]
+    if results != data["points"]:
+        report.add(
+            "SAN006", Severity.ERROR, str(path),
+            "sanitized re-run diverged from the pinned fixture results; "
+            "the sanitizer must be behaviour-preserving",
+        )
+    else:
+        report.note(
+            f"{path.stem}: {len(points)} point(s) re-simulated under "
+            f"{ENV_ENABLE}=1; zero violations, bit-identical results"
+        )
+    return report
+
+
 def run_passes(
     passes: Sequence[str],
     demo_broken: bool = False,
@@ -91,6 +250,8 @@ def run_passes(
     for name in passes:
         if name == "cdg":
             reports.append(run_cdg_pass(demo_broken=demo_broken))
+        elif name == "symbolic":
+            reports.append(run_symbolic_pass(demo_broken=demo_broken))
         elif name == "invariants":
             reports.append(run_invariants_pass())
         elif name == "lint":
@@ -103,16 +264,29 @@ def run_passes(
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.check",
-        description="static deadlock-freedom certifier, topology invariant "
-        "linter and code lint for the dragonfly reproduction",
+        description="static deadlock-freedom certifier (concrete and "
+        "symbolic), topology invariant linter and code lint for the "
+        "dragonfly reproduction",
     )
     parser.add_argument(
         "passes", nargs="*", metavar="pass",
-        help=f"passes to run, from {{{', '.join(PASSES)}}} (default: all three)",
+        help=f"passes to run, from {{{', '.join(PASSES)}}} (default: all)",
     )
     parser.add_argument(
         "--list", action="store_true",
-        help="list registered CDG configurations and topology audits, then exit",
+        help="list registered CDG configurations, symbolic scale "
+        "parameterisations and topology audits, then exit",
+    )
+    parser.add_argument(
+        "--symbolic", action="store_true",
+        help="run only the symbolic family-level certification pass "
+        "(shorthand for the 'symbolic' positional)",
+    )
+    parser.add_argument(
+        "--sanitize-fixture", metavar="FIXTURE", default=None,
+        help="additionally re-simulate a golden fixture (path or stem "
+        "under tests/golden/) with REPRO_SANITIZE=1 and fail on any "
+        "conservation violation or result divergence",
     )
     parser.add_argument(
         "--demo-broken", action="store_true",
@@ -132,13 +306,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list:
         print("CDG configurations:")
         for configuration in all_configurations():
-            print(f"  {configuration.name}  ({configuration.description})")
+            grammar = " [grammar]" if configuration.grammar is not None else ""
+            print(f"  {configuration.name}{grammar}  "
+                  f"({configuration.description})")
+        print("Symbolic scale parameterisations:")
+        for scale in symbolic_scale_configurations():
+            print(f"  {scale.name}  ({scale.description})")
         print("Topology audits:")
         for name, _ in default_topology_audits():
             print(f"  {name}")
         return 0
 
-    passes = args.passes or list(PASSES)
+    if args.symbolic and args.passes:
+        parser.error("--symbolic cannot be combined with positional passes")
+    passes = ["symbolic"] if args.symbolic else (args.passes or list(PASSES))
     unknown = [name for name in passes if name not in PASSES]
     if unknown:
         parser.error(
@@ -147,6 +328,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     reports = run_passes(
         passes, demo_broken=args.demo_broken, lint_root=args.lint_root
     )
+    if args.sanitize_fixture is not None:
+        reports.append(run_sanitize_pass(args.sanitize_fixture))
     for report in reports:
         print(report.format(verbose=args.verbose))
     code = combined_exit_code(reports)

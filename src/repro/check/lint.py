@@ -29,6 +29,15 @@ of the codebase:
     each call hashes a key and allocates a default even on hits.  Use
     a preallocated flat structure, or an explicit get/store when the
     code is genuinely cold.
+
+``REP005`` no ``assert`` in the network engine
+    ``assert`` statements are stripped under ``python -O``, so state
+    validation written as an assert silently stops validating exactly
+    when someone turns optimisations on.  In ``repro.network`` (the
+    simulator library), raise
+    :class:`~repro.network.simulator.SimulatorStateError` or report a
+    :class:`~repro.check.report.Finding` via the conservation sanitizer
+    instead.  Tests and non-engine packages may keep using asserts.
 """
 
 from __future__ import annotations
@@ -53,6 +62,11 @@ PRINT_EXEMPT_PACKAGES = ("check",)
 #: simulator hot path, which the active-set engine keeps allocation- and
 #: hash-free per event.
 SETDEFAULT_BANNED_MODULES = frozenset({"network/simulator.py"})
+
+#: Packages (top-level directory under the lint root) where ``assert``
+#: is banned (REP005): the simulator library, whose state validation
+#: must survive ``python -O``.
+ASSERT_BANNED_PACKAGES = frozenset({"network"})
 
 
 def _is_dataclass_with_slots(node: ast.ClassDef) -> bool:
@@ -100,6 +114,8 @@ class _Linter(ast.NodeVisitor):
             part in PRINT_EXEMPT_PACKAGES for part in Path(relative).parts
         )
         self._setdefault_banned = relative in SETDEFAULT_BANNED_MODULES
+        parts = Path(relative).parts
+        self._assert_banned = bool(parts) and parts[0] in ASSERT_BANNED_PACKAGES
 
     def _add(self, code: str, node: ast.AST, message: str) -> None:
         lineno = getattr(node, "lineno", 0)
@@ -164,6 +180,17 @@ class _Linter(ast.NodeVisitor):
                 "engine keeps the hot path free of per-event hashing "
                 "and default allocation -- use a preallocated flat "
                 "structure (see docs/simulator-performance.md)",
+            )
+        self.generic_visit(node)
+
+    # -- asserts: stripped under -O, banned in the engine ----------------
+    def visit_Assert(self, node: ast.Assert) -> None:
+        if self._assert_banned:
+            self._add(
+                "REP005", node,
+                "assert in the network engine is stripped under "
+                "python -O; raise SimulatorStateError or report a "
+                "sanitizer Finding instead",
             )
         self.generic_visit(node)
 

@@ -27,10 +27,16 @@ enumerating the union of their candidate route classes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from ..core.params import DragonflyParams
 from ..routing import vc_assignment as vcs
+from ..routing.clos_routing import clos_path_grammar
+from ..routing.fb_paths import fb_path_grammar
+from ..routing.grammar import PathGrammar
+from ..routing.paths import dragonfly_path_grammar
+from ..routing.torus_routing import torus_path_grammar
+from ..routing.variant_paths import variant_path_grammar
 from ..topology.base import Fabric
 from ..topology.dragonfly import Dragonfly
 from ..topology.flattened_butterfly import FlattenedButterfly
@@ -57,6 +63,11 @@ class CheckConfiguration:
     routing family documents (asserted against the traces by the CLI).
     ``expect_deadlock_free`` is False only for negative controls kept to
     demonstrate counterexample extraction.
+
+    ``grammar``, when present, returns the routing family's
+    :class:`~repro.routing.grammar.PathGrammar` -- the symbolic certifier
+    (:mod:`repro.check.symbolic`) analyses it in place of the enumerated
+    traces, and the soundness harness cross-checks the two verdicts.
     """
 
     name: str
@@ -64,6 +75,7 @@ class CheckConfiguration:
     claimed_vcs: int
     build: Callable[[], Tuple[Fabric, Iterable[Trace]]]
     expect_deadlock_free: bool = True
+    grammar: Optional[Callable[[], PathGrammar]] = None
 
 
 def _dragonfly(params: DragonflyParams) -> Dragonfly:
@@ -90,6 +102,7 @@ def _df_config(
         claimed_vcs=assignment.num_vcs,
         build=build,
         expect_deadlock_free=expect_deadlock_free,
+        grammar=lambda: dragonfly_path_grammar(assignment, include_nonminimal),
     )
 
 
@@ -103,6 +116,7 @@ def _variant_config() -> CheckConfiguration:
         description="2-D flattened-butterfly groups (Figure 6), canonical VCs",
         claimed_vcs=3,
         build=build,
+        grammar=lambda: variant_path_grammar(vcs.CANONICAL),
     )
 
 
@@ -116,6 +130,7 @@ def _fb_config() -> CheckConfiguration:
         description="3x3 flattened butterfly, DOR + router Valiant (2 VCs)",
         claimed_vcs=2,
         build=build,
+        grammar=fb_path_grammar,
     )
 
 
@@ -132,6 +147,7 @@ def _torus_config(include_nonminimal: bool) -> CheckConfiguration:
         description=f"4x4 torus, dateline dimension-order ({claimed} VCs)",
         claimed_vcs=claimed,
         build=build,
+        grammar=lambda: torus_path_grammar(2, include_nonminimal),
     )
 
 
@@ -145,6 +161,9 @@ def _clos_config() -> CheckConfiguration:
         description="8-terminal radix-4 folded Clos, all up*/down* routes",
         claimed_vcs=1,
         build=build,
+        grammar=lambda: clos_path_grammar(
+            FoldedClos(num_terminals=8, radix=4).levels
+        ),
     )
 
 
@@ -167,6 +186,13 @@ def default_configurations() -> List[CheckConfiguration]:
             "dragonfly-nonmax/MIN+VAL+UGAL@figure7-3vc",
             "non-maximal dragonfly (p=1,a=2,h=2,g=3), distributed global links",
             DragonflyParams(p=1, a=2, h=2, num_groups=3),
+            vcs.CANONICAL,
+        ),
+        _df_config(
+            "dragonfly-nonmax72/MIN+VAL+UGAL@figure7-3vc",
+            "non-maximal 72-router dragonfly (p=2,a=4,h=2,g=5): two global "
+            "links per group pair exercise the distributed-link tie-break",
+            DragonflyParams(p=2, a=4, h=2, num_groups=5),
             vcs.CANONICAL,
         ),
         _df_config(
@@ -198,6 +224,38 @@ def broken_configuration() -> CheckConfiguration:
         vcs.COLLAPSED_TWO_VC,
         expect_deadlock_free=False,
     )
+
+
+@dataclass(frozen=True)
+class SymbolicScaleConfiguration:
+    """A Table-2-scale parameterisation certifiable only symbolically.
+
+    These instances are far beyond the concrete enumerator's reach (the
+    1M-terminal machine has ~1.3M routers), but the symbolic certifier
+    analyses their path grammar without building the topology at all.
+    """
+
+    name: str
+    description: str
+    num_terminals: int
+    grammar: Callable[[], PathGrammar]
+
+
+def symbolic_scale_configurations() -> List[SymbolicScaleConfiguration]:
+    """Paper Table 2 entries certified by the ``symbolic`` pass."""
+    configurations = []
+    for h in (16, 24):
+        params = DragonflyParams.balanced(h)
+        configurations.append(SymbolicScaleConfiguration(
+            name=f"dragonfly-balanced-h{h}/MIN+VAL+UGAL@figure7-3vc",
+            description=(
+                f"balanced dragonfly (p={params.p},a={params.a},h={params.h},"
+                f"g={params.g}): N={params.num_terminals:,} terminals"
+            ),
+            num_terminals=params.num_terminals,
+            grammar=lambda: dragonfly_path_grammar(vcs.CANONICAL),
+        ))
+    return configurations
 
 
 #: Extra configurations registered by extensions (see module docstring).

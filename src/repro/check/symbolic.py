@@ -1,0 +1,282 @@
+"""Symbolic channel-class certification of deadlock freedom.
+
+Where :mod:`repro.check.cdg` certifies one concrete instance by
+enumerating every route, this module certifies an entire routing
+*family* at once -- every (a, p, h, g) dragonfly, every k-ary n-cube of
+a given dimension count, every Clos of a given depth -- by analysing the
+family's :class:`~repro.routing.grammar.PathGrammar` instead of its
+instances.  That is what makes the paper's Table 2 scale reachable: the
+class-level graph of the canonical dragonfly assignment has five nodes
+whether N is 72 or 1M.
+
+Soundness argument
+------------------
+Map every concrete buffer (channel, VC) of any instance to its channel
+class.  The abstraction contract of :class:`~repro.routing.grammar.
+PathGrammar` guarantees this map is a graph homomorphism from the
+concrete channel-dependency graph into the class-level graph built here:
+a concrete dependency between consecutive buffers of a route lands
+either *between* two segments of the route's class (with only skippable
+segments in between -- exactly the pairs :func:`class_dependency_graph`
+connects) or *inside* one multi-hop segment (the self-edges).  A
+concrete cycle would therefore map to a closed walk in the class graph.
+Two cases:
+
+* the walk visits at least two classes -- then the class graph has a
+  cycle through distinct classes, which the search finds;
+* the walk stays inside one class -- possible only via intra-class
+  dependencies, which exist only in multi-hop segments; a segment's
+  ``order`` witness (e.g. the DOR dimension index) asserts those
+  dependencies strictly descend a total order on the class's concrete
+  buffers, so they cannot close a cycle.  Witnessed self-edges are
+  excluded from the search; unwitnessed ones (including a class revisited
+  across skippable segments, where no single-walk order can apply) are
+  treated as cycles.
+
+Hence: class graph acyclic (modulo witnessed self-edges) implies every
+concrete CDG of every instance acyclic.  The converse does **not** hold
+-- the abstraction can manufacture spurious cycles -- which is why
+:func:`soundness_harness` cross-checks the symbolic verdict against the
+concrete enumerator on every registered (finite) configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from ..routing.grammar import ChannelClass, PathGrammar
+from .cdg import Certification, certify
+from .registry import (
+    CheckConfiguration,
+    broken_configuration,
+    default_configurations,
+)
+
+#: Where one class-level dependency comes from:
+#: (route class name, holding stage index, requesting stage index).
+EdgeProvenance = Tuple[str, int, int]
+
+
+@dataclass(frozen=True)
+class SymbolicCertification:
+    """Outcome of certifying one routing family's path grammar."""
+
+    name: str
+    ok: bool
+    num_route_classes: int
+    num_classes: int
+    num_edges: int
+    #: The counterexample as a cycle of channel classes, when refuted.
+    cycle: Optional[Tuple[ChannelClass, ...]] = None
+    #: Human-readable rendering of ``cycle`` (one line per class).
+    cycle_description: Optional[str] = None
+    #: Intra-class self-dependencies excluded from the cycle search
+    #: because a strict order witnesses them acyclic.
+    witnessed: Tuple[str, ...] = ()
+
+    def summary(self) -> str:
+        verdict = "deadlock-free" if self.ok else "CYCLIC"
+        return (
+            f"{self.name}: {verdict} for the whole family "
+            f"({self.num_route_classes} route classes, "
+            f"{self.num_classes} channel classes, "
+            f"{self.num_edges} dependencies)"
+        )
+
+
+def _witness_orders(grammar: PathGrammar) -> Dict[ChannelClass, str]:
+    """The usable order witness per class, if any.
+
+    A class's self-dependencies are witnessed only when *every* multi-hop
+    occurrence across the grammar names the same non-empty order -- two
+    different orders (or one missing) could disagree about the direction
+    of an intra-class dependency, so the witness is discarded.
+    """
+    collected: Dict[ChannelClass, Set[str]] = {}
+    for route_class in grammar.route_classes:
+        for segment in route_class.segments:
+            if segment.multi_hop:
+                collected.setdefault(segment.cls, set()).add(segment.order)
+    return {
+        cls: next(iter(orders))
+        for cls, orders in collected.items()
+        if len(orders) == 1 and "" not in orders
+    }
+
+
+def _add_edge(
+    graph: nx.DiGraph,
+    src: ChannelClass,
+    dst: ChannelClass,
+    provenance: EdgeProvenance,
+    witnessed: bool,
+) -> None:
+    data = graph.get_edge_data(src, dst)
+    if data is None:
+        graph.add_edge(src, dst, provenance=[provenance], witnessed=witnessed)
+    else:
+        data["provenance"].append(provenance)
+        # One unwitnessed contributor taints the edge: the cycle search
+        # must keep it.
+        data["witnessed"] = data["witnessed"] and witnessed
+
+
+def class_dependency_graph(grammar: PathGrammar) -> nx.DiGraph:
+    """The class-level dependency graph of a path grammar.
+
+    Nodes are channel classes.  For each route class, stage ``i`` depends
+    on stage ``j > i`` iff every stage strictly between them is optional
+    (only then can a route hold a stage-``i`` buffer while requesting a
+    stage-``j`` buffer next); a multi-hop stage additionally depends on
+    itself.  Edges carry their provenance (for counterexample rendering)
+    and whether an order witness covers them (self-edges only; a class
+    *revisited* across skippable stages is never witnessed -- no
+    single-walk order spans two separate visits).
+    """
+    graph: nx.DiGraph = nx.DiGraph()
+    graph.add_nodes_from(grammar.classes())
+    witnesses = _witness_orders(grammar)
+    for route_class in grammar.route_classes:
+        segments = route_class.segments
+        for i, segment in enumerate(segments):
+            if segment.multi_hop:
+                _add_edge(
+                    graph, segment.cls, segment.cls,
+                    (route_class.name, i, i),
+                    witnessed=segment.cls in witnesses,
+                )
+            skippable = True
+            for j in range(i + 1, len(segments)):
+                if not skippable:
+                    break
+                _add_edge(
+                    graph, segment.cls, segments[j].cls,
+                    (route_class.name, i, j),
+                    witnessed=False,
+                )
+                skippable = segments[j].optional
+    return graph
+
+
+def find_symbolic_counterexample(
+    graph: nx.DiGraph,
+) -> Optional[List[ChannelClass]]:
+    """A class cycle, or None.  Witnessed self-edges are not cycles."""
+    search: nx.DiGraph = nx.DiGraph()
+    search.add_nodes_from(graph.nodes)
+    for src, dst, data in graph.edges(data=True):
+        if src == dst and data["witnessed"]:
+            continue
+        search.add_edge(src, dst)
+    try:
+        edges = nx.find_cycle(search, orientation="original")
+    except nx.NetworkXNoCycle:
+        return None
+    return [edge[0] for edge in edges]
+
+
+def describe_symbolic_cycle(
+    graph: nx.DiGraph, cycle: List[ChannelClass]
+) -> str:
+    """Render a class cycle, naming the route classes that close it."""
+    lines = []
+    for i, cls in enumerate(cycle):
+        nxt = cycle[(i + 1) % len(cycle)]
+        data = graph.get_edge_data(cls, nxt) or {}
+        provenance: List[EdgeProvenance] = data.get("provenance", [])
+        via = ""
+        if provenance:
+            name, hold, request = provenance[0]
+            stage = (
+                f"revisits stage {hold}" if hold == request
+                else f"stage {hold} -> stage {request}"
+            )
+            via = f"  [route class {name!r}, {stage}]"
+        lines.append(
+            f"  packet holding a {cls.describe()} buffer waits for a "
+            f"{nxt.describe()} buffer{via}"
+        )
+    return "\n".join(lines)
+
+
+def certify_grammar(name: str, grammar: PathGrammar) -> SymbolicCertification:
+    """Certify a whole routing family from its path grammar."""
+    graph = class_dependency_graph(grammar)
+    witnesses = _witness_orders(grammar)
+    cycle = find_symbolic_counterexample(graph)
+    witnessed_notes = tuple(sorted(
+        f"{src.describe()}: self-dependencies ordered by {witnesses[src]}"
+        for src, dst, data in graph.edges(data=True)
+        if src == dst and data["witnessed"]
+    ))
+    return SymbolicCertification(
+        name=name,
+        ok=cycle is None,
+        num_route_classes=len(grammar.route_classes),
+        num_classes=graph.number_of_nodes(),
+        num_edges=graph.number_of_edges(),
+        cycle=tuple(cycle) if cycle else None,
+        cycle_description=(
+            describe_symbolic_cycle(graph, cycle) if cycle else None
+        ),
+        witnessed=witnessed_notes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Soundness harness: symbolic vs. concrete on every finite instance
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CrossCheck:
+    """Symbolic and concrete verdicts for one registered configuration."""
+
+    name: str
+    symbolic: SymbolicCertification
+    concrete: Certification
+
+    @property
+    def agrees(self) -> bool:
+        return self.symbolic.ok == self.concrete.ok
+
+    def summary(self) -> str:
+        verdict = "agree" if self.agrees else "DISAGREE"
+        return (
+            f"{self.name}: symbolic="
+            f"{'free' if self.symbolic.ok else 'cyclic'} concrete="
+            f"{'free' if self.concrete.ok else 'cyclic'} -> {verdict}"
+        )
+
+
+def cross_check(configuration: CheckConfiguration) -> Optional[CrossCheck]:
+    """Certify one configuration both ways; None when it has no grammar."""
+    if configuration.grammar is None:
+        return None
+    symbolic = certify_grammar(configuration.name, configuration.grammar())
+    fabric, traces = configuration.build()
+    concrete = certify(configuration.name, fabric, traces)
+    return CrossCheck(configuration.name, symbolic, concrete)
+
+
+def soundness_harness(
+    configurations: Optional[Iterable[CheckConfiguration]] = None,
+) -> List[CrossCheck]:
+    """Cross-check symbolic vs. concrete verdicts.
+
+    Defaults to every default configuration plus the seeded negative
+    control.  The symbolic analysis is sound but not complete, so exact
+    agreement is a *calibration* fact about the registered grammars
+    (their optionality flags and roles are tight enough), re-verified
+    here against ground truth on every instance small enough to
+    enumerate.
+    """
+    if configurations is None:
+        configurations = [*default_configurations(), broken_configuration()]
+    checks = []
+    for configuration in configurations:
+        result = cross_check(configuration)
+        if result is not None:
+            checks.append(result)
+    return checks

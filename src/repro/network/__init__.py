@@ -5,7 +5,7 @@ from .config import SimulationConfig
 from .packet import Flit, Packet, RoutePlan, make_flits
 from .parallel import PointSpec, SweepExecutor, derive_seed, derive_seeds
 from .replication import ReplicatedMetric, ReplicatedResult, replicate
-from .simulator import Simulator, simulate
+from .simulator import Simulator, SimulatorStateError, simulate
 from .stats import LatencySample, SimulationResult
 from .sweep import SweepPoint, load_sweep, run_point, saturation_load
 from .workloads import (
@@ -47,6 +47,7 @@ __all__ = [
     "ReplicatedResult",
     "replicate",
     "Simulator",
+    "SimulatorStateError",
     "simulate",
     "LatencySample",
     "SimulationResult",

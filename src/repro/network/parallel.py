@@ -164,7 +164,11 @@ class SweepExecutor:
                 self.stats["simulated"] += 1
                 if self.cache is not None:
                     self.cache.put(self._key(topology, specs[index]), result)
-        assert all(result is not None for result in results)
+        if any(result is None for result in results):
+            raise RuntimeError(
+                "sweep executor produced no result for some points; "
+                "cache lookups and executions must cover every spec"
+            )
         return cast(List[SimulationResult], results)
 
     def _key(self, topology, spec: PointSpec) -> Dict[str, object]:

@@ -46,9 +46,10 @@ output bit for bit.
 
 from __future__ import annotations
 
+import os
 import random
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Tuple
 
 from ..routing.base import RoutingAlgorithm
 from ..topology.base import ChannelKind
@@ -56,6 +57,17 @@ from ..topology.dragonfly import Dragonfly
 from .config import SimulationConfig
 from .packet import Flit, Packet, RoutePlan, make_flits
 from .stats import LatencySample, SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only, avoids an import cycle
+    from ..check.sanitizer import SimulatorSanitizer
+
+
+class SimulatorStateError(RuntimeError):
+    """Internal engine state violated a flow-control invariant.
+
+    Raised (never asserted -- library code must fail under ``python -O``
+    too) by :meth:`Simulator.check_invariants` and by consistency checks
+    on the hot path."""
 
 #: (dst_router, dst_in_base, latency, is_global, channel_index) where
 #: ``dst_in_base`` is the absolute VC-slot base of the downstream input
@@ -239,7 +251,11 @@ class Simulator:
         for router in range(num_routers):
             for port in self._network_ports[router]:
                 info = self._channel_info[router * radix + port]
-                assert info is not None
+                if info is None:
+                    raise SimulatorStateError(
+                        f"network port {port} of router {router} has no "
+                        "channel wiring"
+                    )
                 # Zero-load round trip: flit flight + same-cycle downstream
                 # forwarding + credit flight.  Timestamps are taken when
                 # the flit is *enqueued* toward the output, so t_crt
@@ -279,6 +295,9 @@ class Simulator:
 
         # Measurement state.
         self._packet_counter = 0
+        #: Flits ejected so far (all of them, not just measured ones) --
+        #: the "delivered" leg of the sanitizer's flit-conservation law.
+        self._flits_delivered = 0
         self._source_queue_at_end = 0.0
         self._outstanding_tagged = 0
         self._samples: List[LatencySample] = []
@@ -308,6 +327,14 @@ class Simulator:
                     self._outstanding_tagged += 1
                     self._source_queue[terminal].append(packet)
 
+        # Opt-in conservation sanitizer (``REPRO_SANITIZE=1``); imported
+        # lazily so the disabled mode never touches repro.check at all.
+        self._sanitizer: Optional[SimulatorSanitizer] = None
+        if os.environ.get("REPRO_SANITIZE", "") not in ("", "0"):
+            from ..check.sanitizer import sanitizer_from_env
+
+            self._sanitizer = sanitizer_from_env()
+
     # ------------------------------------------------------------------
     # CongestionView interface (queried by routing algorithms)
     # ------------------------------------------------------------------
@@ -329,45 +356,24 @@ class Simulator:
         return self._pending_vc[router * self._rv + out_port * self._vcs + vc]
 
     def check_invariants(self) -> None:
-        """Flow-control invariants; raises AssertionError on violation.
+        """Flow-control invariants; raises SimulatorStateError on violation.
 
         Used by the test suite (and callable at any cycle, including
         mid-run): buffer occupancies stay within the configured depth,
         credit counters stay in range, per-output pending counters match
         the queues, and the active set mirrors the pending counters (a
         port's bit is set iff its pending counter is > 0, a router is in
-        the active set iff its mask is non-zero).
+        the active set iff its mask is non-zero).  The checks are the
+        structural subset (SAN001/SAN004) of the conservation sanitizer
+        (:mod:`repro.check.sanitizer`); the full cross-structure laws
+        run under ``REPRO_SANITIZE=1``.
         """
-        depth = self._depth
-        radix = self._radix
-        vcs = self._vcs
-        rv = self._rv
-        for router in range(self._num_routers):
-            vbase = router * rv
-            pbase = router * radix
-            for index in range(rv):
-                assert 0 <= self._buf_count[vbase + index] <= depth, (
-                    f"buffer {index} of router {router} out of range"
-                )
-                assert 0 <= self._credits[vbase + index] <= depth, (
-                    f"credit counter {index} of router {router} out of range"
-                )
-            mask = 0
-            for port in range(radix):
-                queued = sum(
-                    self._pending_vc[vbase + port * vcs + vc]
-                    for vc in range(vcs)
-                )
-                assert queued == self._pending[pbase + port], (
-                    f"pending counter of router {router} port {port} drifted"
-                )
-                if queued:
-                    mask |= 1 << port
-            assert mask == self._active_mask[router], (
-                f"active port mask of router {router} drifted"
-            )
-            assert (router in self._active_routers) == bool(mask), (
-                f"active router set drifted at router {router}"
+        from ..check.sanitizer import structural_findings
+
+        findings = structural_findings(self)
+        if findings:
+            raise SimulatorStateError(
+                "\n".join(finding.format() for finding in findings)
             )
 
     # ------------------------------------------------------------------
@@ -382,12 +388,17 @@ class Simulator:
         deliver_credits = self._deliver_credits
         inject = self._inject
         switch = self._switch
+        sanitizer = self._sanitizer
         for now in range(limit):
             self.now = now
             deliver_arrivals(now)
             deliver_credits(now)
             inject(now)
             switch()
+            if sanitizer is not None:
+                # Post-switch is a phase boundary: every conservation
+                # law the sanitizer audits holds here.
+                sanitizer.maybe_audit(self, now)
             if now >= measure_end:
                 if now == measure_end:
                     queues = self._source_queue
@@ -397,6 +408,9 @@ class Simulator:
                 if self._outstanding_tagged == 0:
                     drained = True
                     break
+        if sanitizer is not None:
+            # Final audit regardless of where the stride landed.
+            sanitizer.audit(self)
         return SimulationResult(
             routing_name=self.routing.name,
             pattern_name=getattr(self.pattern, "name", "custom"),
@@ -1007,17 +1021,19 @@ class Simulator:
                     break
 
     def _eject(self, p_idx: int, flit: Flit, now: int, measuring: bool) -> None:
+        self._flits_delivered += 1
         if measuring:
             self._ejected_flits_in_window += 1
         if not flit.is_tail:
             return
         packet = flit.packet
         terminal_index = self._eject_terminal[p_idx]
-        assert terminal_index == packet.dst_terminal, (
-            f"packet {packet.index} for terminal {packet.dst_terminal} "
-            f"ejected at router {p_idx // self._radix} port "
-            f"{p_idx % self._radix} (misrouted)"
-        )
+        if terminal_index != packet.dst_terminal:
+            raise SimulatorStateError(
+                f"packet {packet.index} for terminal {packet.dst_terminal} "
+                f"ejected at router {p_idx // self._radix} port "
+                f"{p_idx % self._radix} (misrouted)"
+            )
         packet.eject_time = now + self._terminal_latency
         if self._request_reply and packet.vc_class == 0:
             # The request stays open until its reply lands; spawn the
@@ -1037,7 +1053,10 @@ class Simulator:
             return
         if packet.measured:
             self._outstanding_tagged -= 1
-            assert packet.plan is not None
+            if packet.plan is None:
+                raise SimulatorStateError(
+                    f"packet {packet.index} ejected without a route plan"
+                )
             origin = packet.request if packet.request is not None else packet
             latency = packet.eject_time - origin.creation_time
             self._samples.append(

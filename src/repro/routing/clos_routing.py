@@ -27,6 +27,7 @@ from typing import List, Optional, Tuple
 
 from ..topology.folded_clos import FoldedClos
 from .base import CongestionView, RoutingAlgorithm
+from .grammar import ChannelClass, PathGrammar, RouteClass, Segment
 
 
 @dataclass
@@ -89,6 +90,35 @@ def clos_next_hop(
     # digit (l-1).
     digit = topology.digits_of_leaf(dst_leaf)[level - 1]
     return digit, 0, 1
+
+
+def clos_path_grammar(levels: int) -> PathGrammar:
+    """Channel-class structure of up*/down* routes on an ``L``-level Clos.
+
+    Parameterised over the level count only (the per-level switch counts
+    and port radix never enter the abstraction).  Classes are (direction,
+    level boundary) on the single VC; a route climbs a prefix of the up
+    segments to its ancestor level and descends the matching suffix of
+    the down segments, so every segment is optional and every dependency
+    strictly advances the up-then-down rank -- the structural reason
+    up*/down* needs no virtual channels at all.
+    """
+    segments = []
+    for level in range(levels - 1):
+        segments.append(Segment(
+            ChannelClass("up", 0, f"level{level}->{level + 1}"),
+            optional=True,
+        ))
+    for level in range(levels - 1, 0, -1):
+        segments.append(Segment(
+            ChannelClass("down", 0, f"level{level}->{level - 1}"),
+            optional=True,
+        ))
+    return PathGrammar(
+        name=f"folded-clos-{levels}level@updown",
+        num_vcs=1,
+        route_classes=(RouteClass("up*/down*", tuple(segments)),),
+    )
 
 
 def clos_walk_route(

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..topology.flattened_butterfly import FlattenedButterfly
+from .grammar import ChannelClass, PathGrammar, RouteClass, Segment
 
 
 @dataclass
@@ -114,6 +115,53 @@ def fb_next_hop(
             port = topology.dim_port(router, dim, dst_coord)
             return port, phase, phase
     raise AssertionError("router == target was handled above")
+
+
+#: Witness order for DOR walks: each phase corrects coordinates in
+#: ascending dimension index, one hop per dimension, so consecutive hops
+#: within a phase strictly ascend the dimensions.
+_DOR_ORDER = "DOR dimension index"
+
+
+def fb_path_grammar(include_nonminimal: bool = True) -> PathGrammar:
+    """Channel-class structure of flattened-butterfly routes.
+
+    Instance-independent over any dimension vector and concentration:
+    a minimal route is one DOR walk on VC0; a Valiant route is a DOR
+    walk to the intermediate router on VC0 followed by a DOR walk home
+    on VC1 (:func:`fb_next_hop` uses ``vc = phase``).  Both phases of a
+    (non-degenerate) Valiant route take at least one hop -- plans whose
+    intermediate draw collides with an endpoint collapse to the minimal
+    plan before routing starts.
+    """
+    route_classes = [
+        RouteClass(
+            "minimal (DOR)",
+            (Segment(
+                ChannelClass("local", 0, "phase0"),
+                optional=True, multi_hop=True, order=_DOR_ORDER,
+            ),),
+        ),
+    ]
+    if include_nonminimal:
+        route_classes.append(RouteClass(
+            "valiant (DOR x2)",
+            (
+                Segment(
+                    ChannelClass("local", 0, "phase0"),
+                    multi_hop=True, order=_DOR_ORDER,
+                ),
+                Segment(
+                    ChannelClass("local", 1, "phase1"),
+                    multi_hop=True, order=_DOR_ORDER,
+                ),
+            ),
+        ))
+    return PathGrammar(
+        name="flattened-butterfly@phase-vcs",
+        num_vcs=2 if include_nonminimal else 1,
+        route_classes=tuple(route_classes),
+    )
 
 
 def fb_walk_route(

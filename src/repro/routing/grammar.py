@@ -1,0 +1,98 @@
+"""Path grammars: the channel-class structure of a routing family.
+
+The concrete certifier in :mod:`repro.check.cdg` proves deadlock freedom
+by enumerating every route of one *instance* and checking the concrete
+channel-dependency graph -- exact, but per-instance, and hopeless at the
+paper's Table 2 scale (N up to 1M terminals).  A *path grammar* is the
+instance-independent abstraction the symbolic certifier
+(:mod:`repro.check.symbolic`) analyses instead: channels collapse into
+:class:`ChannelClass` values (hop kind x VC x topological role), and every
+route any instance of the family can emit is described by one of the
+grammar's :class:`RouteClass` sequences of :class:`Segment` values.
+
+The abstraction contract (what makes the symbolic analysis *sound* for
+every (a, p, h, g) at once):
+
+* every concrete route of every instance maps, buffer by buffer, onto the
+  segments of some route class, **in order** -- a segment marked
+  ``optional`` may contribute zero hops, one marked ``multi_hop`` may
+  contribute several consecutive hops, and all other segments contribute
+  exactly zero-or-one (``optional``) or one hop;
+* consecutive hops *within* one ``multi_hop`` segment stay inside one
+  channel class, so the class-level graph needs a self-edge for it; the
+  segment's ``order`` names the strict total order those hops descend
+  the topology along (e.g. dimension index for a DOR walk), which is the
+  witness that the intra-class dependencies are acyclic.  A ``multi_hop``
+  segment without an ``order`` is treated as an unbreakable self-cycle.
+
+The grammars themselves are defined next to the executors they describe
+(:func:`repro.routing.paths.dragonfly_path_grammar` and friends) so a
+routing change and its grammar change land in the same review.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class ChannelClass:
+    """An abstract class of (channel, VC) buffers.
+
+    ``kind`` is the physical channel kind ("local", "global", ...),
+    ``vc`` the virtual channel, and ``role`` an optional topological
+    refinement (e.g. ``"dim0"`` / ``"crossed"`` for a torus dateline
+    class) needed when kind x VC alone would merge buffers whose
+    dependencies must stay distinguishable.
+    """
+
+    kind: str
+    vc: int
+    role: str = ""
+
+    def describe(self) -> str:
+        suffix = f"/{self.role}" if self.role else ""
+        return f"{self.kind}@VC{self.vc}{suffix}"
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One stage of a route class.
+
+    ``optional`` -- some realisable route takes zero hops here (e.g. the
+    source router already is the gateway router).  ``multi_hop`` -- one
+    route can take several consecutive hops in this class (e.g. a DOR
+    walk through a flattened-butterfly group); ``order`` then names the
+    strict order that witnesses the intra-class dependencies acyclic.
+    """
+
+    cls: ChannelClass
+    optional: bool = False
+    multi_hop: bool = False
+    order: str = ""
+
+
+@dataclass(frozen=True)
+class RouteClass:
+    """A named sequence of segments every matching route follows in order."""
+
+    name: str
+    segments: Tuple[Segment, ...]
+
+
+@dataclass(frozen=True)
+class PathGrammar:
+    """The full channel-class route structure of one routing family."""
+
+    name: str
+    num_vcs: int
+    route_classes: Tuple[RouteClass, ...] = field(default_factory=tuple)
+
+    def classes(self) -> Tuple[ChannelClass, ...]:
+        """All channel classes, in first-appearance order."""
+        seen = {}
+        for route_class in self.route_classes:
+            for segment in route_class.segments:
+                seen.setdefault(segment.cls, None)
+        return tuple(seen)

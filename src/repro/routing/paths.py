@@ -16,6 +16,7 @@ from ..core.params import TopologyError
 from ..network.packet import RoutePlan
 from ..topology.dragonfly import Dragonfly, GlobalLink
 from . import vc_assignment as vcs
+from .grammar import ChannelClass, PathGrammar, RouteClass, Segment
 
 #: Shared plan for intra-group routes.  Plans are immutable once built
 #: (the simulator only attaches an interned ``hop_key``, identical for
@@ -261,6 +262,68 @@ def next_hop(
         return topology.terminal_port(dst_terminal), 0
     # Final local hop (also the only hop of intra-group routes): highest VC.
     return topology.local_port(router, dst_router), assignment.final_local_vc
+
+
+def dragonfly_path_grammar(
+    assignment: vcs.VcAssignment = vcs.CANONICAL,
+    include_nonminimal: bool = True,
+) -> PathGrammar:
+    """The channel-class structure of every route :func:`next_hop` emits.
+
+    Instance-independent: valid for **any** dragonfly (a, p, h, g),
+    because groups are complete graphs -- every local segment is at most
+    one hop and every global segment exactly one, regardless of size.
+    The three route classes mirror Section 4.1 (and the enumeration of
+    :func:`repro.check.cdg.dragonfly_traces`):
+
+    * ``intra-group`` -- source and destination share a group: at most
+      one local hop on the final-stage VC;
+    * ``minimal`` -- the 3-step route: local hop to the gateway router
+      (skipped when the source *is* the gateway), the global channel,
+      local hop to the destination router (skipped when the global
+      channel lands on it);
+    * ``nonminimal`` -- the 5-step Valiant route through an intermediate
+      group (both local hops around each gateway optional as above; the
+      two global channels always present -- degenerate Valiant draws
+      collapse to the ``minimal`` plan before routing starts).
+    """
+    final = ChannelClass("local", assignment.final_local_vc)
+    route_classes = [
+        RouteClass("intra-group", (Segment(final, optional=True),)),
+        RouteClass(
+            "minimal",
+            (
+                Segment(
+                    ChannelClass("local", assignment.minimal_first_vc),
+                    optional=True,
+                ),
+                Segment(ChannelClass("global", assignment.minimal_first_vc)),
+                Segment(final, optional=True),
+            ),
+        ),
+    ]
+    if include_nonminimal and assignment.supports_nonminimal:
+        route_classes.append(RouteClass(
+            "nonminimal",
+            (
+                Segment(
+                    ChannelClass("local", assignment.nonminimal_first_vc),
+                    optional=True,
+                ),
+                Segment(ChannelClass("global", assignment.nonminimal_first_vc)),
+                Segment(
+                    ChannelClass("local", assignment.intermediate_vc),
+                    optional=True,
+                ),
+                Segment(ChannelClass("global", assignment.intermediate_vc)),
+                Segment(final, optional=True),
+            ),
+        ))
+    return PathGrammar(
+        name=f"dragonfly@{assignment.name}",
+        num_vcs=assignment.num_vcs,
+        route_classes=tuple(route_classes),
+    )
 
 
 def walk_route(

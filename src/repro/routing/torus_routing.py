@@ -22,6 +22,7 @@ from typing import List, Optional, Tuple
 
 from ..topology.torus import Torus
 from .base import CongestionView, RoutingAlgorithm
+from .grammar import ChannelClass, PathGrammar, RouteClass, Segment
 
 
 @dataclass
@@ -105,6 +106,68 @@ def torus_next_hop(
                 next_crossed = 1
         return port, vc, 2 * phase + next_crossed
     raise AssertionError("router == target was handled above")
+
+
+def _torus_phase_segments(phase: int, num_dims: int) -> List[Segment]:
+    """The per-dimension (pre-dateline, post-dateline) segment pairs.
+
+    One ring correction is a monotone walk in a fixed direction (the
+    shorter way around never flips mid-walk) of fewer hops than the ring
+    size, so it crosses the wraparound link at most once: VC ``2*phase``
+    strictly before the dateline, VC ``2*phase + 1`` from the crossing
+    hop onward.  Either part may be empty, and within each part the hops
+    strictly advance along the ring -- the order witness below.
+    """
+    segments = []
+    for dim in range(num_dims):
+        order = (
+            f"ring position along the travel direction (dim {dim}, "
+            "cut at the dateline)"
+        )
+        segments.append(Segment(
+            ChannelClass("ring", 2 * phase, f"dim{dim}"),
+            optional=True, multi_hop=True, order=order,
+        ))
+        segments.append(Segment(
+            ChannelClass("ring", 2 * phase + 1, f"dim{dim}+dateline"),
+            optional=True, multi_hop=True, order=order,
+        ))
+    return segments
+
+
+def torus_path_grammar(
+    num_dims: int,
+    include_nonminimal: bool = False,
+) -> PathGrammar:
+    """Channel-class structure of dateline-DOR torus routes.
+
+    Parameterised over the dimension *count* only -- ring sizes never
+    enter the abstraction, so one grammar covers every k-ary n-cube of
+    ``n = num_dims``.  Classes are (VC, dimension, dateline side): the
+    dimension and dateline refinements are load-bearing, because a
+    VC-only abstraction would merge the last (dateline-VC) hop of one
+    dimension with the first (fresh-VC) hop of the next into a spurious
+    VC1 -> VC0 cycle that no concrete route can close.
+    """
+    route_classes = [
+        RouteClass(
+            "minimal (dateline DOR)",
+            tuple(_torus_phase_segments(0, num_dims)),
+        ),
+    ]
+    if include_nonminimal:
+        route_classes.append(RouteClass(
+            "valiant (dateline DOR x2)",
+            tuple(
+                _torus_phase_segments(0, num_dims)
+                + _torus_phase_segments(1, num_dims)
+            ),
+        ))
+    return PathGrammar(
+        name=f"torus-{num_dims}d@dateline",
+        num_vcs=4 if include_nonminimal else 2,
+        route_classes=tuple(route_classes),
+    )
 
 
 def torus_walk_route(

@@ -1,10 +1,18 @@
 """Tests for the ``python -m repro.check`` command-line gate."""
 
 import dataclasses
+import json
+import pathlib
 
 import pytest
 
-from repro.check.__main__ import main, run_cdg_pass
+from repro.check.__main__ import (
+    PASSES,
+    main,
+    run_cdg_pass,
+    run_sanitize_pass,
+    run_symbolic_pass,
+)
 from repro.check.registry import broken_configuration
 from repro.check.report import (
     CheckReport,
@@ -12,6 +20,10 @@ from repro.check.report import (
     Severity,
     combined_exit_code,
 )
+from repro.routing import vc_assignment as vcs
+from repro.routing.paths import dragonfly_path_grammar
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "golden"
 
 
 class TestExitCodes:
@@ -33,6 +45,75 @@ class TestExitCodes:
         out = capsys.readouterr().out
         assert "dragonfly/MIN+VAL+UGAL@figure7-3vc" in out
         assert "dragonfly-paper72" in out
+
+    def test_list_shows_grammar_markers_and_scale_parameterisations(
+        self, capsys
+    ):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "[grammar]" in out
+        assert "Symbolic scale parameterisations:" in out
+        assert "dragonfly-balanced-h24" in out
+
+    def test_symbolic_flag_runs_only_the_symbolic_pass(self, capsys):
+        assert main(["--symbolic"]) == 0
+        out = capsys.readouterr().out
+        assert "[symbolic] ok" in out
+        assert "[cdg]" not in out
+        assert "[lint]" not in out
+
+    def test_symbolic_flag_rejects_positional_passes(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--symbolic", "lint"])
+        assert excinfo.value.code == 2
+        assert "--symbolic" in capsys.readouterr().err
+
+
+class TestExitCodeAudit:
+    """An ERROR in *any* pass must reach the process exit code -- this
+    is the contract CI relies on."""
+
+    @pytest.mark.parametrize("pass_name", PASSES)
+    def test_error_in_any_pass_fails_the_gate(
+        self, monkeypatch, capsys, pass_name
+    ):
+        def dirty(**_kwargs):
+            report = CheckReport(pass_name=pass_name)
+            report.add(
+                "X999", Severity.ERROR, "somewhere", "planted failure"
+            )
+            return report
+
+        monkeypatch.setattr(
+            f"repro.check.__main__.run_{pass_name}_pass", dirty
+        )
+        assert main([pass_name]) == 1
+        out = capsys.readouterr().out
+        assert "X999" in out
+        assert "FAILED" in out
+
+    @pytest.mark.parametrize("pass_name", PASSES)
+    def test_clean_pass_exits_zero(self, monkeypatch, capsys, pass_name):
+        monkeypatch.setattr(
+            f"repro.check.__main__.run_{pass_name}_pass",
+            lambda **_kwargs: CheckReport(pass_name=pass_name),
+        )
+        assert main([pass_name]) == 0
+        assert "all passes clean" in capsys.readouterr().out
+
+    def test_failing_sanitize_fixture_fails_the_gate(
+        self, monkeypatch, capsys
+    ):
+        """--sanitize-fixture findings join the combined exit code even
+        when every static pass is clean."""
+        monkeypatch.setattr(
+            "repro.check.__main__.run_lint_pass",
+            lambda **_kwargs: CheckReport(pass_name="lint"),
+        )
+        assert main(["lint", "--sanitize-fixture", "no_such_fixture"]) == 1
+        out = capsys.readouterr().out
+        assert "SAN000" in out
+        assert "FAILED" in out
 
 
 class TestCdgGate:
@@ -78,6 +159,117 @@ class TestCdgGate:
         report = run_cdg_pass()
         assert not report.ok
         assert any(f.code == "CDG003" for f in report.errors)
+
+
+class TestSymbolicGate:
+    def test_lying_grammar_fails_with_symbolic_counterexample(
+        self, monkeypatch, capsys
+    ):
+        """A configuration claiming deadlock freedom whose grammar is
+        cyclic must exit nonzero and print the class cycle."""
+        lying = dataclasses.replace(
+            broken_configuration(), expect_deadlock_free=True
+        )
+        monkeypatch.setattr(
+            "repro.check.__main__.all_configurations", lambda: [lying]
+        )
+        assert main(["symbolic"]) == 1
+        out = capsys.readouterr().out
+        assert "SYM001" in out
+        assert "waits for" in out
+        assert "FAILED" in out
+
+    def test_demo_broken_reports_symbolic_cycle_without_failing(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.setattr(
+            "repro.check.__main__.all_configurations", lambda: []
+        )
+        assert main(["symbolic", "--demo-broken", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "SYM002" in out
+        assert "expected symbolic counterexample" in out
+
+    def test_rotted_negative_control_is_sym003(self, monkeypatch):
+        from repro.check.registry import default_configurations
+
+        rotted = dataclasses.replace(
+            default_configurations()[0], expect_deadlock_free=False
+        )
+        monkeypatch.setattr(
+            "repro.check.__main__.all_configurations", lambda: [rotted]
+        )
+        report = run_symbolic_pass()
+        assert not report.ok
+        assert any(f.code == "SYM003" for f in report.errors)
+
+    def test_drifted_grammar_is_caught_by_the_harness(self, monkeypatch):
+        """A grammar that no longer matches its routes (here: the
+        collapsed grammar attached to a deadlock-free configuration)
+        trips both the certification (SYM001) and the symbolic-vs-
+        concrete cross-check (SYM005)."""
+        from repro.check.registry import default_configurations
+
+        drifted = dataclasses.replace(
+            default_configurations()[0],
+            grammar=lambda: dragonfly_path_grammar(vcs.COLLAPSED_TWO_VC),
+        )
+        monkeypatch.setattr(
+            "repro.check.__main__.all_configurations", lambda: [drifted]
+        )
+        report = run_symbolic_pass()
+        assert not report.ok
+        codes = {f.code for f in report.errors}
+        assert "SYM001" in codes
+        assert "SYM005" in codes
+
+    def test_blown_scale_budget_is_sym004(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.check.__main__.all_configurations", lambda: []
+        )
+        monkeypatch.setattr(
+            "repro.check.__main__.SCALE_BUDGET_SECONDS", 0.0
+        )
+        report = run_symbolic_pass()
+        assert any(f.code == "SYM004" for f in report.errors)
+
+    def test_grammarless_configuration_is_skipped_not_failed(
+        self, monkeypatch
+    ):
+        from repro.check.registry import default_configurations
+
+        bare = dataclasses.replace(
+            default_configurations()[0], grammar=None
+        )
+        monkeypatch.setattr(
+            "repro.check.__main__.all_configurations", lambda: [bare]
+        )
+        report = run_symbolic_pass()
+        assert report.ok
+        assert any("skipped" in note for note in report.notes)
+
+
+class TestSanitizeFixture:
+    def test_missing_fixture_is_san000(self):
+        report = run_sanitize_pass("no_such_fixture")
+        assert not report.ok
+        assert any(f.code == "SAN000" for f in report.errors)
+
+    def test_fixture_resolved_by_path_reruns_clean(self):
+        report = run_sanitize_pass(str(GOLDEN_DIR / "min_uniform.json"))
+        assert report.ok, report.format(verbose=True)
+        assert any("bit-identical" in note for note in report.notes)
+
+    def test_divergence_from_pinned_results_is_san006(self, tmp_path):
+        fixture = json.loads(
+            (GOLDEN_DIR / "min_uniform.json").read_text()
+        )
+        fixture["points"][0]["total_cycles"] += 1
+        tampered = tmp_path / "tampered.json"
+        tampered.write_text(json.dumps(fixture))
+        report = run_sanitize_pass(str(tampered))
+        assert not report.ok
+        assert any(f.code == "SAN006" for f in report.errors)
 
 
 class TestReportPlumbing:

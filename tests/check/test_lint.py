@@ -1,4 +1,4 @@
-"""Tests for the repo-specific AST lint (REP001..REP004)."""
+"""Tests for the repo-specific AST lint (REP001..REP005)."""
 
 import textwrap
 
@@ -129,6 +129,40 @@ class TestSetdefaultRule:
                 queue.append(flit)
         """, name="network/simulator.py")
         assert not iter_findings_by_rule(findings, "REP004")
+
+
+class TestAssertRule:
+    def test_assert_in_network_engine_is_flagged(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def eject(terminal, expected):
+                assert terminal == expected, "misrouted"
+        """, name="network/simulator.py")
+        rep005 = iter_findings_by_rule(findings, "REP005")
+        assert len(rep005) == 1
+        assert rep005[0].location == "network/simulator.py:3"
+        assert "python -O" in rep005[0].message
+
+    def test_assert_anywhere_in_network_package_is_flagged(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def run(results):
+                assert all(r is not None for r in results)
+        """, name="network/parallel.py")
+        assert iter_findings_by_rule(findings, "REP005")
+
+    def test_assert_outside_network_is_allowed(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def walk(trace):
+                assert trace, "route failed to terminate"
+        """, name="routing/paths.py")
+        assert not iter_findings_by_rule(findings, "REP005")
+
+    def test_raise_in_network_engine_passes(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            def eject(terminal, expected):
+                if terminal != expected:
+                    raise RuntimeError("misrouted")
+        """, name="network/simulator.py")
+        assert not iter_findings_by_rule(findings, "REP005")
 
 
 class TestTreeWalk:

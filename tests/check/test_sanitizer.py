@@ -1,0 +1,258 @@
+"""Tests for the runtime flit/credit conservation sanitizer.
+
+Three layers: the audit functions on a finished simulator whose state is
+deliberately corrupted (each conservation law must name its own finding
+code), the periodic in-run hook (a corruption planted at cycle T must
+surface within one stride of T), and the behaviour-preservation contract
+(every golden fixture re-simulated under ``REPRO_SANITIZE=1`` stays
+bit-identical with zero findings).
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.check.sanitizer import (
+    DEFAULT_STRIDE,
+    ENV_ENABLE,
+    ENV_STRIDE,
+    SanitizerError,
+    SimulatorSanitizer,
+    audit_simulator,
+    sanitizer_enabled,
+    sanitizer_from_env,
+    stride_from_env,
+    structural_findings,
+)
+from repro.core.params import DragonflyParams
+from repro.network.config import SimulationConfig
+from repro.network.simulator import Simulator, SimulatorStateError
+from repro.network.sweep import load_sweep
+from repro.network.traffic import make_pattern
+from repro.routing.ugal import make_routing
+from repro.topology.dragonfly import Dragonfly
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "golden"
+GOLDEN_FIXTURES = sorted(path.stem for path in GOLDEN_DIR.glob("*.json"))
+
+
+def make_simulator(topology, routing="MIN", pattern="uniform_random", **kwargs):
+    defaults = dict(
+        load=0.2, warmup_cycles=100, measure_cycles=100, drain_max_cycles=2000
+    )
+    defaults.update(kwargs)
+    config = SimulationConfig(**defaults)
+    return Simulator(
+        topology,
+        make_routing(routing),
+        make_pattern(pattern, topology, seed=config.seed + 17),
+        config,
+    )
+
+
+def first_network_out_idx(sim):
+    """The flat output-VC slot of the first wired network port."""
+    for router in range(sim._num_routers):
+        for port in sim._network_ports[router]:
+            p_idx = router * sim._radix + port
+            if sim._channel_info[p_idx] is not None:
+                return p_idx * sim._vcs
+    raise AssertionError("no wired network port")
+
+
+def codes(findings):
+    return {finding.code for finding in findings}
+
+
+class TestEnvPlumbing:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_ENABLE, raising=False)
+        assert not sanitizer_enabled()
+        assert sanitizer_from_env() is None
+
+    def test_zero_means_disabled(self, monkeypatch):
+        monkeypatch.setenv(ENV_ENABLE, "0")
+        assert not sanitizer_enabled()
+        assert sanitizer_from_env() is None
+
+    def test_enabled_with_custom_stride(self, monkeypatch):
+        monkeypatch.setenv(ENV_ENABLE, "1")
+        monkeypatch.setenv(ENV_STRIDE, "7")
+        sanitizer = sanitizer_from_env()
+        assert sanitizer is not None
+        assert sanitizer.stride == 7
+
+    def test_default_stride(self, monkeypatch):
+        monkeypatch.setenv(ENV_ENABLE, "1")
+        monkeypatch.delenv(ENV_STRIDE, raising=False)
+        assert stride_from_env() == DEFAULT_STRIDE
+
+    @pytest.mark.parametrize("raw", ["nope", "0", "-3"])
+    def test_bad_stride_is_rejected(self, monkeypatch, raw):
+        monkeypatch.setenv(ENV_STRIDE, raw)
+        with pytest.raises(ValueError):
+            stride_from_env()
+
+    def test_simulator_attaches_sanitizer_when_enabled(
+        self, monkeypatch, tiny_dragonfly
+    ):
+        monkeypatch.setenv(ENV_ENABLE, "1")
+        sim = make_simulator(tiny_dragonfly)
+        assert sim._sanitizer is not None
+
+    def test_simulator_skips_sanitizer_when_disabled(
+        self, monkeypatch, tiny_dragonfly
+    ):
+        monkeypatch.delenv(ENV_ENABLE, raising=False)
+        sim = make_simulator(tiny_dragonfly)
+        assert sim._sanitizer is None
+
+
+@pytest.fixture()
+def finished(tiny_dragonfly):
+    """A drained low-load run; its end state satisfies every law."""
+    sim = make_simulator(tiny_dragonfly)
+    sim.run()
+    return sim
+
+
+class TestAuditFindings:
+    """Each law catches its own corruption, by code."""
+
+    def test_clean_state_audits_clean(self, finished):
+        assert audit_simulator(finished) == []
+
+    def test_lost_credit_is_san002(self, finished):
+        finished._credits[first_network_out_idx(finished)] -= 1
+        assert "SAN002" in codes(audit_simulator(finished))
+
+    def test_out_of_range_counter_is_san001(self, finished):
+        finished._credits[first_network_out_idx(finished)] = (
+            finished._depth + 1
+        )
+        assert "SAN001" in codes(audit_simulator(finished))
+
+    def test_lost_flit_is_san003(self, finished):
+        finished._flits_delivered -= 1
+        findings = audit_simulator(finished)
+        assert "SAN003" in codes(findings)
+        # The message does the bookkeeping out loud.
+        san003 = next(f for f in findings if f.code == "SAN003")
+        assert "delivered" in san003.message
+
+    def test_phantom_packet_is_san003(self, finished):
+        finished._packet_counter += 1
+        assert "SAN003" in codes(audit_simulator(finished))
+
+    def test_corrupted_active_mask_is_san004(self, finished):
+        finished._active_mask[0] ^= 1
+        findings = audit_simulator(finished)
+        assert "SAN004" in codes(findings)
+
+    def test_corrupted_pending_counter_is_san004(self, finished):
+        finished._pending[0] += 1
+        assert "SAN004" in codes(audit_simulator(finished))
+
+    def test_stranded_overflow_entry_is_san005(self, finished):
+        finished._credit_overflow[finished.now] = [(0, 0)]
+        findings = audit_simulator(finished)
+        assert "SAN005" in codes(findings)
+        assert any("stranded" in f.message for f in findings)
+
+    def test_empty_overflow_batch_is_san005(self, finished):
+        finished._credit_overflow[finished.now + 100] = []
+        assert "SAN005" in codes(audit_simulator(finished))
+
+    def test_out_of_range_credit_event_is_san005(self, finished):
+        slots = finished._num_routers * finished._rv
+        finished._credit_ring[0].append((slots + 5, 0))
+        assert "SAN005" in codes(audit_simulator(finished))
+
+    def test_structural_subset_skips_conservation_laws(self, finished):
+        """check_invariants() must stay callable mid-cycle: the full
+        credit law does not hold between phases, so the structural
+        subset must not include it."""
+        finished._credits[first_network_out_idx(finished)] -= 1
+        assert structural_findings(finished) == []
+        assert "SAN002" in codes(audit_simulator(finished))
+
+    def test_check_invariants_raises_simulator_state_error(self, finished):
+        finished._active_mask[0] ^= 1
+        with pytest.raises(SimulatorStateError) as excinfo:
+            finished.check_invariants()
+        assert "SAN004" in str(excinfo.value)
+
+    def test_sanitizer_error_carries_findings(self, finished):
+        finished._flits_delivered -= 1
+        with pytest.raises(SanitizerError) as excinfo:
+            SimulatorSanitizer(stride=1).audit(finished)
+        assert excinfo.value.findings
+        assert "SAN003" in codes(excinfo.value.findings)
+        assert "SAN003" in str(excinfo.value)
+
+
+class TestStrideLocalisation:
+    def test_clean_run_audits_every_cycle(self, tiny_dragonfly):
+        sim = make_simulator(tiny_dragonfly)
+        sim._sanitizer = SimulatorSanitizer(stride=1)
+        result = sim.run()
+        assert result.drained
+        assert audit_simulator(sim) == []
+
+    @pytest.mark.parametrize("stride", [1, 8])
+    def test_planted_corruption_surfaces_within_one_stride(
+        self, tiny_dragonfly, stride
+    ):
+        """A credit leaked at cycle 50 must abort the run by the next
+        audit point -- the error is localised to its stride."""
+        corrupt_at = 50
+        sim = make_simulator(tiny_dragonfly)
+        sim._sanitizer = SimulatorSanitizer(stride=stride)
+        real_switch = sim._switch
+
+        def corrupting_switch():
+            real_switch()
+            if sim.now == corrupt_at:
+                sim._credits[first_network_out_idx(sim)] -= 1
+
+        sim._switch = corrupting_switch
+        with pytest.raises(SanitizerError) as excinfo:
+            sim.run()
+        assert "SAN002" in codes(excinfo.value.findings)
+        assert corrupt_at <= sim.now <= corrupt_at + stride
+
+    def test_maybe_audit_respects_the_stride(self, finished):
+        finished._flits_delivered -= 1
+        sanitizer = SimulatorSanitizer(stride=4)
+        sanitizer.maybe_audit(finished, 3)  # off-stride: no audit
+        with pytest.raises(SanitizerError):
+            sanitizer.maybe_audit(finished, 4)
+
+    def test_stride_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SimulatorSanitizer(stride=0)
+
+
+class TestGoldenFixturesSanitized:
+    """Acceptance: every golden fixture re-simulates under the sanitizer
+    with zero findings and bit-identical results."""
+
+    @pytest.mark.parametrize("fixture_name", GOLDEN_FIXTURES)
+    def test_fixture_is_clean_and_bit_identical(
+        self, monkeypatch, fixture_name
+    ):
+        fixture = json.loads(
+            (GOLDEN_DIR / f"{fixture_name}.json").read_text()
+        )
+        topology = Dragonfly(DragonflyParams(**fixture["topology"]))
+        config = SimulationConfig(**fixture["config"])
+        monkeypatch.setenv(ENV_ENABLE, "1")
+        points = load_sweep(
+            topology,
+            fixture["routing"],
+            fixture["pattern"],
+            fixture["loads"],
+            config,
+        )
+        assert [point.result.to_dict() for point in points] == fixture["points"]
