@@ -1,6 +1,6 @@
 """``python -m repro.check`` -- the static-analysis gate.
 
-Runs up to four passes and exits nonzero when any produces an ERROR:
+Runs up to five passes and exits nonzero when any produces an ERROR:
 
 * ``cdg``         -- certify deadlock freedom of every registered
                      (topology, routing, VC assignment) configuration by
@@ -9,10 +9,16 @@ Runs up to four passes and exits nonzero when any produces an ERROR:
                      grammars (channel-class abstraction), cross-checked
                      against the concrete verdicts, including Table-2
                      scale parameterisations no enumerator could touch;
+* ``tables``      -- compile every configuration to explicit per-router
+                     forwarding tables and certify the compiled form
+                     (reachability, acyclic table-CDG, grammar-consistent
+                     VCs, JSON round trip), including fault-degraded
+                     dragonfly table sets;
 * ``invariants``  -- audit the topology algebra and wiring invariants;
-* ``lint``        -- repo-specific AST lint of ``src/repro``.
+* ``lint``        -- repo-specific AST lint of ``src/repro``,
+                     ``benchmarks/`` and ``examples/``.
 
-With no arguments all four run.  ``--sanitize-fixture NAME`` additionally
+With no arguments all five run.  ``--sanitize-fixture NAME`` additionally
 re-simulates a golden fixture under ``REPRO_SANITIZE=1`` and fails on any
 conservation violation or output divergence.  See ``--help`` for
 selection flags and ``docs/static-analysis.md`` for the full story.
@@ -38,8 +44,9 @@ from .registry import (
 )
 from .report import CheckReport, Severity, combined_exit_code
 from .symbolic import certify_grammar, soundness_harness
+from .tables import run_tables_pass
 
-PASSES = ("cdg", "symbolic", "invariants", "lint")
+PASSES = ("cdg", "symbolic", "tables", "invariants", "lint")
 
 #: Wall-clock budget for certifying one Table-2-scale parameterisation.
 SCALE_BUDGET_SECONDS = 5.0
@@ -245,6 +252,7 @@ def run_passes(
     passes: Sequence[str],
     demo_broken: bool = False,
     lint_root: Optional[str] = None,
+    export_tables: Optional[str] = None,
 ) -> List[CheckReport]:
     reports = []
     for name in passes:
@@ -252,6 +260,10 @@ def run_passes(
             reports.append(run_cdg_pass(demo_broken=demo_broken))
         elif name == "symbolic":
             reports.append(run_symbolic_pass(demo_broken=demo_broken))
+        elif name == "tables":
+            reports.append(run_tables_pass(
+                demo_broken=demo_broken, export_dir=export_tables
+            ))
         elif name == "invariants":
             reports.append(run_invariants_pass())
         elif name == "lint":
@@ -283,6 +295,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "(shorthand for the 'symbolic' positional)",
     )
     parser.add_argument(
+        "--tables", action="store_true",
+        help="run only the forwarding-table certification pass "
+        "(shorthand for the 'tables' positional)",
+    )
+    parser.add_argument(
+        "--export-tables", metavar="DIR", default=None,
+        help="with the tables pass: export every compiled table set as "
+        "versioned JSON into DIR",
+    )
+    parser.add_argument(
         "--sanitize-fixture", metavar="FIXTURE", default=None,
         help="additionally re-simulate a golden fixture (path or stem "
         "under tests/golden/) with REPRO_SANITIZE=1 and fail on any "
@@ -304,11 +326,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list:
+        from .tables import degraded_configurations
+
         print("CDG configurations:")
         for configuration in all_configurations():
-            grammar = " [grammar]" if configuration.grammar is not None else ""
-            print(f"  {configuration.name}{grammar}  "
+            markers = "".join(
+                marker for marker, present in (
+                    (" [grammar]", configuration.grammar is not None),
+                    (" [tables]", configuration.tables is not None),
+                ) if present
+            )
+            print(f"  {configuration.name}{markers}  "
                   f"({configuration.description})")
+        print("Fault-degraded table configurations:")
+        for degraded in degraded_configurations():
+            print(f"  {degraded.name}  ({degraded.description})")
         print("Symbolic scale parameterisations:")
         for scale in symbolic_scale_configurations():
             print(f"  {scale.name}  ({scale.description})")
@@ -317,16 +349,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"  {name}")
         return 0
 
-    if args.symbolic and args.passes:
-        parser.error("--symbolic cannot be combined with positional passes")
-    passes = ["symbolic"] if args.symbolic else (args.passes or list(PASSES))
+    for flag, shorthand in (("--symbolic", args.symbolic),
+                            ("--tables", args.tables)):
+        if shorthand and args.passes:
+            parser.error(f"{flag} cannot be combined with positional passes")
+    if args.symbolic and args.tables:
+        parser.error("--symbolic and --tables select different single passes")
+    if args.symbolic:
+        passes = ["symbolic"]
+    elif args.tables:
+        passes = ["tables"]
+    else:
+        passes = args.passes or list(PASSES)
     unknown = [name for name in passes if name not in PASSES]
     if unknown:
         parser.error(
             f"unknown pass(es) {', '.join(unknown)}; choose from {', '.join(PASSES)}"
         )
     reports = run_passes(
-        passes, demo_broken=args.demo_broken, lint_root=args.lint_root
+        passes, demo_broken=args.demo_broken, lint_root=args.lint_root,
+        export_tables=args.export_tables,
     )
     if args.sanitize_fixture is not None:
         reports.append(run_sanitize_pass(args.sanitize_fixture))

@@ -19,7 +19,12 @@ of the codebase:
 ``REP003`` no ``print`` in library code
     Library modules must not print; results flow through return values
     and the stats pipeline.  CLI entry points (``__main__.py`` modules
-    and the ``check`` package) are exempt.
+    and the ``check`` package) are exempt.  The repo's script trees
+    (``benchmarks/`` and ``examples/``) are linted in *script mode*:
+    prints inside function bodies or the ``if __name__ == "__main__":``
+    guard are fine (that is where a script's output belongs), but a
+    bare module-level print outside the guard fires on ``import`` --
+    including under pytest collection -- and is flagged.
 
 ``REP004`` no ``dict.setdefault`` in the simulator core
     The active-set engine replaced every per-event ``setdefault`` on
@@ -68,6 +73,22 @@ SETDEFAULT_BANNED_MODULES = frozenset({"network/simulator.py"})
 #: must survive ``python -O``.
 ASSERT_BANNED_PACKAGES = frozenset({"network"})
 
+#: Repo-level script trees linted in script mode alongside the package.
+SCRIPT_TREES = ("benchmarks", "examples")
+
+
+def _is_main_guard(node: ast.If) -> bool:
+    """True for ``if __name__ == "__main__":`` (either operand order)."""
+    test = node.test
+    if not (isinstance(test, ast.Compare) and len(test.ops) == 1):
+        return False
+    if not isinstance(test.ops[0], ast.Eq):
+        return False
+    operands = [test.left, test.comparators[0]]
+    names = [o.id for o in operands if isinstance(o, ast.Name)]
+    values = [o.value for o in operands if isinstance(o, ast.Constant)]
+    return names == ["__name__"] and values == ["__main__"]
+
 
 def _is_dataclass_with_slots(node: ast.ClassDef) -> bool:
     for decorator in node.decorator_list:
@@ -105,17 +126,29 @@ def _defines_slots(node: ast.ClassDef) -> bool:
 
 
 class _Linter(ast.NodeVisitor):
-    def __init__(self, path: Path, relative: str) -> None:
+    def __init__(
+        self, path: Path, relative: str, script_mode: bool = False
+    ) -> None:
         self.path = path
         self.relative = relative
         self.findings: List[Finding] = []
         self._random_aliases: set = set()
-        self._print_exempt = relative.endswith(PRINT_EXEMPT_PARTS) or any(
-            part in PRINT_EXEMPT_PACKAGES for part in Path(relative).parts
+        self._script_mode = script_mode
+        #: In script mode, depth > 0 means inside a def/class body or the
+        #: ``__main__`` guard, where prints are a script's normal output.
+        self._script_exempt_depth = 0
+        self._print_exempt = not script_mode and (
+            relative.endswith(PRINT_EXEMPT_PARTS) or any(
+                part in PRINT_EXEMPT_PACKAGES for part in Path(relative).parts
+            )
         )
         self._setdefault_banned = relative in SETDEFAULT_BANNED_MODULES
         parts = Path(relative).parts
-        self._assert_banned = bool(parts) and parts[0] in ASSERT_BANNED_PACKAGES
+        self._assert_banned = (
+            not script_mode
+            and bool(parts)
+            and parts[0] in ASSERT_BANNED_PACKAGES
+        )
 
     def _add(self, code: str, node: ast.AST, message: str) -> None:
         lineno = getattr(node, "lineno", 0)
@@ -163,12 +196,21 @@ class _Linter(ast.NodeVisitor):
             isinstance(func, ast.Name)
             and func.id == "print"
             and not self._print_exempt
+            and not (self._script_mode and self._script_exempt_depth > 0)
         ):
-            self._add(
-                "REP003", node,
-                "print() in library code; return data or use the stats "
-                "pipeline (CLI __main__ modules are exempt)",
-            )
+            if self._script_mode:
+                self._add(
+                    "REP003", node,
+                    "module-level print() outside the "
+                    'if __name__ == "__main__": guard runs on import; '
+                    "move it into the guard or a function",
+                )
+            else:
+                self._add(
+                    "REP003", node,
+                    "print() in library code; return data or use the stats "
+                    "pipeline (CLI __main__ modules are exempt)",
+                )
         if (
             self._setdefault_banned
             and isinstance(func, ast.Attribute)
@@ -194,6 +236,34 @@ class _Linter(ast.NodeVisitor):
             )
         self.generic_visit(node)
 
+    # -- script mode: track where prints are legitimate ------------------
+    def _visit_exempt_body(self, node: ast.AST) -> None:
+        self._script_exempt_depth += 1
+        try:
+            self.generic_visit(node)
+        finally:
+            self._script_exempt_depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_exempt_body(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_exempt_body(node)
+
+    def visit_If(self, node: ast.If) -> None:
+        if self._script_mode and _is_main_guard(node):
+            for child in node.body:
+                self._script_exempt_depth += 1
+                try:
+                    self.visit(child)
+                finally:
+                    self._script_exempt_depth -= 1
+            for child in node.orelse:
+                self.visit(child)
+            self.visit(node.test)
+            return
+        self.generic_visit(node)
+
     # -- classes: hot-path __slots__ -------------------------------------
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
         if node.name in HOT_PATH_CLASSES and not _defines_slots(node):
@@ -202,10 +272,10 @@ class _Linter(ast.NodeVisitor):
                 f"hot-path class {node.name} must declare __slots__ "
                 "(directly or via @dataclass(slots=True))",
             )
-        self.generic_visit(node)
+        self._visit_exempt_body(node)
 
 
-def lint_file(path: Path, root: Path) -> List[Finding]:
+def lint_file(path: Path, root: Path, script_mode: bool = False) -> List[Finding]:
     """Lint one file; returns findings (a syntax error is itself one)."""
     relative = path.relative_to(root).as_posix()
     try:
@@ -217,12 +287,14 @@ def lint_file(path: Path, root: Path) -> List[Finding]:
             location=f"{relative}:{error.lineno or 0}",
             message=f"syntax error: {error.msg}",
         )]
-    linter = _Linter(path, relative)
+    linter = _Linter(path, relative, script_mode=script_mode)
     linter.visit(tree)
     return linter.findings
 
 
-def lint_tree(root: Union[str, Path]) -> List[Finding]:
+def lint_tree(
+    root: Union[str, Path], script_mode: bool = False
+) -> List[Finding]:
     """Lint every Python file under ``root`` (deterministic order)."""
     root_path = Path(root)
     if not root_path.is_dir():
@@ -235,7 +307,7 @@ def lint_tree(root: Union[str, Path]) -> List[Finding]:
         )]
     findings: List[Finding] = []
     for path in sorted(root_path.rglob("*.py")):
-        findings.extend(lint_file(path, root_path))
+        findings.extend(lint_file(path, root_path, script_mode=script_mode))
     return findings
 
 
@@ -244,9 +316,37 @@ def default_lint_root() -> Path:
     return Path(__file__).resolve().parent.parent
 
 
+def default_script_roots() -> List[Path]:
+    """The repo-level script trees, when running from a checkout.
+
+    An installed wheel has no ``benchmarks/``/``examples/`` next to the
+    package; absent trees are simply not linted (unlike an explicit
+    root, which errors when missing).
+    """
+    repo_root = default_lint_root().parent.parent
+    return [
+        repo_root / name
+        for name in SCRIPT_TREES
+        if (repo_root / name).is_dir()
+    ]
+
+
 def lint_sources(root: Union[str, Path, None] = None) -> List[Finding]:
-    """Entry point used by the CLI: lint the repro package sources."""
-    return lint_tree(default_lint_root() if root is None else root)
+    """Entry point used by the CLI: lint the repro package sources.
+
+    With the default root, the repo's script trees (``benchmarks/``,
+    ``examples/``) are linted too, in script mode; findings there are
+    located as ``benchmarks/foo.py:N`` relative to the repo root.
+    """
+    if root is not None:
+        return lint_tree(root)
+    findings = lint_tree(default_lint_root())
+    for script_root in default_script_roots():
+        for path in sorted(script_root.rglob("*.py")):
+            findings.extend(
+                lint_file(path, script_root.parent, script_mode=True)
+            )
+    return findings
 
 
 def iter_findings_by_rule(

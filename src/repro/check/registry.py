@@ -35,6 +35,14 @@ from ..routing.clos_routing import clos_path_grammar
 from ..routing.fb_paths import fb_path_grammar
 from ..routing.grammar import PathGrammar
 from ..routing.paths import dragonfly_path_grammar
+from ..routing.tables import (
+    ClosLowering,
+    DragonflyLowering,
+    FbLowering,
+    Lowering,
+    TorusLowering,
+    VariantLowering,
+)
 from ..routing.torus_routing import torus_path_grammar
 from ..routing.variant_paths import variant_path_grammar
 from ..topology.base import Fabric
@@ -68,6 +76,11 @@ class CheckConfiguration:
     :class:`~repro.routing.grammar.PathGrammar` -- the symbolic certifier
     (:mod:`repro.check.symbolic`) analyses it in place of the enumerated
     traces, and the soundness harness cross-checks the two verdicts.
+
+    ``tables``, when present, returns the family's table
+    :class:`~repro.routing.tables.Lowering` -- the table pass
+    (:mod:`repro.check.tables`) compiles the configuration to explicit
+    forwarding tables and certifies the compiled form.
     """
 
     name: str
@@ -76,6 +89,7 @@ class CheckConfiguration:
     build: Callable[[], Tuple[Fabric, Iterable[Trace]]]
     expect_deadlock_free: bool = True
     grammar: Optional[Callable[[], PathGrammar]] = None
+    tables: Optional[Callable[[], Lowering]] = None
 
 
 def _dragonfly(params: DragonflyParams) -> Dragonfly:
@@ -103,6 +117,9 @@ def _df_config(
         build=build,
         expect_deadlock_free=expect_deadlock_free,
         grammar=lambda: dragonfly_path_grammar(assignment, include_nonminimal),
+        tables=lambda: DragonflyLowering(
+            _dragonfly(params), assignment, include_nonminimal
+        ),
     )
 
 
@@ -117,6 +134,11 @@ def _variant_config() -> CheckConfiguration:
         claimed_vcs=3,
         build=build,
         grammar=lambda: variant_path_grammar(vcs.CANONICAL),
+        tables=lambda: VariantLowering(
+            FlattenedButterflyGroupDragonfly(p=1, group_dims=(2, 2), h=1),
+            vcs.CANONICAL,
+            include_nonminimal=True,
+        ),
     )
 
 
@@ -131,6 +153,9 @@ def _fb_config() -> CheckConfiguration:
         claimed_vcs=2,
         build=build,
         grammar=fb_path_grammar,
+        tables=lambda: FbLowering(
+            FlattenedButterfly(dims=(3, 3), concentration=1)
+        ),
     )
 
 
@@ -148,6 +173,9 @@ def _torus_config(include_nonminimal: bool) -> CheckConfiguration:
         claimed_vcs=claimed,
         build=build,
         grammar=lambda: torus_path_grammar(2, include_nonminimal),
+        tables=lambda: TorusLowering(
+            Torus(dims=(4, 4), concentration=1), include_nonminimal
+        ),
     )
 
 
@@ -164,6 +192,7 @@ def _clos_config() -> CheckConfiguration:
         grammar=lambda: clos_path_grammar(
             FoldedClos(num_terminals=8, radix=4).levels
         ),
+        tables=lambda: ClosLowering(FoldedClos(num_terminals=8, radix=4)),
     )
 
 

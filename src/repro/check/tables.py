@@ -1,0 +1,414 @@
+"""Static verification of compiled forwarding tables (``TBL0xx``).
+
+The CDG and symbolic passes prove the routing *code* deadlock-free.  A
+deployed machine runs neither: a controller programs per-router
+forwarding tables (:mod:`repro.routing.tables`), and anything between
+the compiler and the switch firmware -- a buggy recompile, a truncated
+upload, a hand-edit during an incident -- can invalidate the proof.
+This pass certifies the *tables themselves*, so the gate covers the
+configuration actually deployed:
+
+* ``TBL001`` -- the table-level channel-dependency graph is cyclic.
+  Every admissible route is walked **through the tables** and the
+  resulting traces feed the PR 1 CDG machinery
+  (:func:`repro.check.cdg.certify`); a cycle is rendered as the usual
+  holds/waits chain, annotated with the table entries (router, key,
+  via) that program each buffer in the cycle -- the provenance a
+  controller operator needs to find the bad entry.
+* ``TBL002`` -- reachability/walk failure: a route's table walk hit a
+  missing key, an ambiguous candidate set, or the loop bound, or the
+  configuration failed to compile at all.
+* ``TBL003`` -- a table walk's (kind, VC, role) hop sequence is not a
+  sentence of the family's published :class:`PathGrammar`: the tables
+  violate the VC-monotonicity discipline the symbolic certificate
+  assumes.
+* ``TBL004`` -- round-trip failure: exporting to the versioned JSON
+  format and importing it back must reproduce structurally identical
+  tables and identical walks.
+* ``TBL005`` -- a table walk diverged from the algorithmic executor's
+  trace for the same route decision (healthy configurations only;
+  fault-degraded tables have no algorithmic counterpart).
+* ``TBL006``/``TBL007`` -- negative-control bookkeeping, mirroring
+  ``CDG002``/``CDG003``: an expected counterexample is reported as
+  evidence (INFO), a negative control that certifies clean has rotted
+  (ERROR).
+
+Fault-degraded dragonfly table sets (:func:`degraded_configurations`)
+are certified alongside the healthy registry: the verifier either
+proves the degraded tables deadlock-free, reachable, and
+grammar-consistent, or prints the counterexample.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.params import DragonflyParams
+from ..routing.grammar import PathGrammar, Segment
+from ..routing.tables import (
+    DegradedDragonflyLowering,
+    ForwardingTables,
+    Lowering,
+    RouteCase,
+    TableCompileError,
+    TableRouteError,
+    table_walk_route,
+)
+from ..topology.dragonfly import Dragonfly
+from ..topology.faults import FaultSet
+from .cdg import CdgNode, certify, describe_cycle
+from .report import Finding, Severity
+
+#: Cap on per-category example findings; the rest is summarised so a
+#: systematically broken table set cannot flood the report.
+MAX_EXAMPLES = 5
+
+#: Number of route cases re-walked on the imported tables during the
+#: round-trip check (structural equality already implies identical
+#: lookups; the re-walk is an end-to-end spot check of the decoder).
+ROUNDTRIP_WALKS = 50
+
+
+@dataclass
+class TableCertification:
+    """Outcome of certifying one configuration's compiled tables."""
+
+    name: str
+    findings: List[Finding] = field(default_factory=list)
+    num_entries: int = 0
+    num_cases: int = 0
+    num_pairs: int = 0
+    #: The compiled tables (None when compilation itself failed).
+    tables: Optional[ForwardingTables] = None
+    #: Rendering of the table-CDG counterexample, when one exists.
+    cycle_description: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    @property
+    def cyclic(self) -> bool:
+        return any(f.code == "TBL001" for f in self.findings)
+
+    def summary(self) -> str:
+        verdict = "certified" if self.ok else "REFUTED"
+        return (
+            f"{self.name}: {verdict} ({self.num_entries} entries, "
+            f"{self.num_cases} routes over {self.num_pairs} pairs)"
+        )
+
+
+def _matches_grammar(
+    grammar: PathGrammar, hops: Sequence[Tuple[str, int, str]]
+) -> bool:
+    """True when some route class consumes exactly the hop sequence.
+
+    Backtracking over the segments: a non-optional segment consumes at
+    least one hop of its class, ``multi_hop`` segments consume any
+    number of consecutive ones.  Mirrors the abstraction contract in
+    :mod:`repro.routing.grammar`.
+    """
+    for route_class in grammar.route_classes:
+        if _segments_consume(route_class.segments, hops):
+            return True
+    return False
+
+
+def _segments_consume(
+    segments: Tuple[Segment, ...], hops: Sequence[Tuple[str, int, str]]
+) -> bool:
+    def rec(si: int, hi: int) -> bool:
+        if si == len(segments):
+            return hi == len(hops)
+        segment = segments[si]
+        wanted = (segment.cls.kind, segment.cls.vc, segment.cls.role)
+        if segment.optional and rec(si + 1, hi):
+            return True
+        consumed = 0
+        while hi + consumed < len(hops) and hops[hi + consumed] == wanted:
+            consumed += 1
+            if rec(si + 1, hi + consumed):
+                return True
+            if not segment.multi_hop:
+                break
+        return False
+
+    return rec(0, 0)
+
+
+def annotate_cycle(
+    lowering: Lowering, tables: ForwardingTables, cycle: List[CdgNode]
+) -> str:
+    """The PR 1 holds/waits rendering plus table provenance per buffer."""
+    fabric = lowering.topology.fabric
+    emitters: Dict[Tuple[int, int, int], List[str]] = {}
+    for router, key, entry in tables.entries():
+        channel = fabric.out_channel(router, entry.out_port)
+        if channel is None:
+            continue
+        via = f" via {entry.via}" if entry.via is not None else ""
+        emitters.setdefault((router, entry.out_port, entry.out_vc), []).append(
+            f"key {key[0]}/{key[1]}/{key[2]}{via}"
+        )
+    lines = [describe_cycle(fabric, cycle), "  table provenance:"]
+    for channel_index, vc in cycle:
+        channel = fabric.channels[channel_index]
+        sources = emitters.get((channel.src.router, channel.src.port, vc), [])
+        shown = ", ".join(sources[:3])
+        if len(sources) > 3:
+            shown += f", and {len(sources) - 3} more"
+        lines.append(
+            f"    channel {channel.src.router}->{channel.dst.router} VC{vc} "
+            f"programmed at router {channel.src.router} by "
+            f"{shown if sources else 'NO table entry (stale buffer?)'}"
+        )
+    return "\n".join(lines)
+
+
+def certify_tables(name: str, lowering: Lowering) -> TableCertification:
+    """Compile one configuration's tables and run every TBL check."""
+    result = TableCertification(name=name)
+
+    def add(code: str, message: str) -> None:
+        result.findings.append(Finding(code, Severity.ERROR, name, message))
+
+    try:
+        tables = lowering.compile()
+    except TableCompileError as error:
+        add("TBL002", f"table compilation failed: {error}")
+        return result
+    result.tables = tables
+    result.num_entries = tables.num_entries()
+    topology = lowering.topology
+    grammar = lowering.grammar()
+
+    traces = []
+    pairs_total: set = set()
+    pairs_reached: set = set()
+    walk_failures: List[str] = []
+    grammar_failures: List[str] = []
+    divergences: List[str] = []
+    roundtrip_sample: List[Tuple[RouteCase, tuple]] = []
+    for case in lowering.cases():
+        result.num_cases += 1
+        pair = (case.src_router, case.dst_terminal)
+        pairs_total.add(pair)
+        try:
+            walk = table_walk_route(
+                topology, tables, case.src_router, case.dst_terminal, case.legs
+            )
+        except TableRouteError as error:
+            walk_failures.append(f"{case.label}: {error}")
+            continue
+        pairs_reached.add(pair)
+        traces.append(walk)
+        if len(roundtrip_sample) < ROUNDTRIP_WALKS:
+            roundtrip_sample.append((case, tuple(walk)))
+        if case.algorithmic is not None and tuple(walk) != case.algorithmic:
+            divergences.append(
+                f"{case.label}: tables walked {walk}, "
+                f"executor walked {list(case.algorithmic)}"
+            )
+        hops = [
+            lowering.classify_hop(router, port, vc)
+            for router, port, vc in walk[:-1]
+        ]
+        if not _matches_grammar(grammar, hops):
+            grammar_failures.append(
+                f"{case.label}: hop classes {hops} match no route class "
+                f"of {grammar.name}"
+            )
+    result.num_pairs = len(pairs_total)
+
+    for example in walk_failures[:MAX_EXAMPLES]:
+        add("TBL002", f"table walk failed: {example}")
+    if len(walk_failures) > MAX_EXAMPLES:
+        add(
+            "TBL002",
+            f"{len(walk_failures) - MAX_EXAMPLES} further walk failures "
+            "suppressed",
+        )
+    unreachable = pairs_total - pairs_reached
+    if unreachable:
+        src, dst = sorted(unreachable)[0]
+        add(
+            "TBL002",
+            f"{len(unreachable)} (source router, destination terminal) "
+            f"pair(s) have no surviving table route, e.g. router {src} -> "
+            f"terminal {dst}",
+        )
+    for example in divergences[:MAX_EXAMPLES]:
+        add("TBL005", f"table walk diverged from the executor: {example}")
+    if len(divergences) > MAX_EXAMPLES:
+        add(
+            "TBL005",
+            f"{len(divergences) - MAX_EXAMPLES} further divergences suppressed",
+        )
+    for example in grammar_failures[:MAX_EXAMPLES]:
+        add("TBL003", f"grammar violation: {example}")
+    if len(grammar_failures) > MAX_EXAMPLES:
+        add(
+            "TBL003",
+            f"{len(grammar_failures) - MAX_EXAMPLES} further grammar "
+            "violations suppressed",
+        )
+
+    certification = certify(name, topology.fabric, traces)
+    if not certification.ok:
+        assert certification.cycle is not None
+        result.cycle_description = annotate_cycle(
+            lowering, tables, certification.cycle
+        )
+        add(
+            "TBL001",
+            "table-level channel-dependency graph is CYCLIC; "
+            "counterexample deadlock cycle:\n" + result.cycle_description,
+        )
+
+    restored = ForwardingTables.from_json_dict(
+        json.loads(json.dumps(tables.to_json_dict()))
+    )
+    if restored != tables:
+        add(
+            "TBL004",
+            "export -> import round trip is not structurally identical",
+        )
+    else:
+        for case, walk in roundtrip_sample:
+            try:
+                rewalk = tuple(table_walk_route(
+                    topology, restored, case.src_router, case.dst_terminal,
+                    case.legs,
+                ))
+            except TableRouteError as error:
+                add("TBL004", f"imported tables failed {case.label}: {error}")
+                break
+            if rewalk != walk:
+                add(
+                    "TBL004",
+                    f"imported tables walk {case.label} differently: "
+                    f"{list(rewalk)} vs {list(walk)}",
+                )
+                break
+    return result
+
+
+# ----------------------------------------------------------------------
+# Degraded configurations certified alongside the healthy registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DegradedConfiguration:
+    """One fault scenario whose recompiled tables the pass certifies."""
+
+    name: str
+    description: str
+    build: Callable[[], DegradedDragonflyLowering]
+
+
+def degraded_configurations() -> List[DegradedConfiguration]:
+    """Fault scenarios certified by ``python -m repro.check tables``.
+
+    The default scenario hits the paper-72 dragonfly with all three
+    fault shapes at once: a dead global cable (groups 0 and 1 lose their
+    only direct link, forcing detours through a third group), a dead
+    local cable (routers 2 and 3 stop talking directly, exercising the
+    local repair pass), and a dead router (router 35 takes its two
+    global links and both terminals down with it, disconnecting group 8
+    from two more groups).
+    """
+
+    def build() -> DegradedDragonflyLowering:
+        topology = Dragonfly(DragonflyParams.paper_example_72())
+        global_link = topology.group_links(0, 1)[0]
+        faults = FaultSet.of(
+            links=[
+                (global_link.src_router, global_link.dst_router),
+                (2, 3),
+            ],
+            routers=[35],
+        )
+        return DegradedDragonflyLowering(topology, faults)
+
+    return [
+        DegradedConfiguration(
+            name="dragonfly-degraded/MIN+detours@figure7-3vc",
+            description=(
+                "paper-72 dragonfly minus one global cable, one local "
+                "cable and one router; minimal tables with detours"
+            ),
+            build=build,
+        ),
+    ]
+
+
+def export_filename(name: str) -> str:
+    """A filesystem-safe file name for one configuration's table JSON."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", name).strip("_") + ".json"
+
+
+def run_tables_pass(
+    demo_broken: bool = False,
+    export_dir: Optional[str] = None,
+) -> "CheckReport":
+    """Certify every registry configuration's compiled tables.
+
+    Mirrors the cdg pass's negative-control idiom: configurations
+    documented as deadlocking must be *refuted* by the table CDG (their
+    counterexample is reported as INFO evidence); one that certifies
+    clean has rotted and fails the gate.  With ``export_dir`` set, every
+    compiled table set is exported to its versioned JSON file.
+    """
+    from .registry import all_configurations, broken_configuration
+    from .report import CheckReport
+
+    report = CheckReport(pass_name="tables")
+    jobs: List[Tuple[str, Lowering, bool]] = []
+    configurations = list(all_configurations())
+    if demo_broken:
+        configurations.append(broken_configuration())
+    for configuration in configurations:
+        if configuration.tables is None:
+            report.note(
+                f"{configuration.name}: no table lowering registered; "
+                "skipped (cdg pass still covers it)"
+            )
+            continue
+        jobs.append((
+            configuration.name,
+            configuration.tables(),
+            configuration.expect_deadlock_free,
+        ))
+    for degraded in degraded_configurations():
+        jobs.append((degraded.name, degraded.build(), True))
+
+    for name, lowering, expect_clean in jobs:
+        result = certify_tables(name, lowering)
+        report.note(result.summary())
+        if expect_clean:
+            report.extend(result.findings)
+        elif result.cyclic:
+            # The negative control was refuted, as documented: keep the
+            # counterexample as evidence, drop the expected findings.
+            report.add(
+                "TBL006", Severity.INFO, name,
+                "expected table-level counterexample found:\n"
+                + (result.cycle_description or ""),
+            )
+        else:
+            report.add(
+                "TBL007", Severity.ERROR, name,
+                "tables documented as deadlocking were certified acyclic; "
+                "negative control has rotted",
+            )
+        if export_dir is not None and result.tables is not None:
+            directory = pathlib.Path(export_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            path = directory / export_filename(name)
+            result.tables.dump(str(path))
+            report.note(f"{name}: tables exported to {path}")
+    return report

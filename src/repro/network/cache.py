@@ -171,8 +171,19 @@ class SweepCache:
 
     @classmethod
     def from_env(cls) -> Optional["SweepCache"]:
-        """A cache at ``$REPRO_SWEEP_CACHE``, or ``None`` when unset."""
+        """A cache at ``$REPRO_SWEEP_CACHE``, or ``None`` when unset.
+
+        Raises :class:`ValueError` when the variable names an existing
+        path that is not a directory -- a cache pointed at a regular
+        file would silently store nothing.
+        """
         directory = os.environ.get(CACHE_ENV_VAR, "").strip()
         if not directory:
             return None
+        path = Path(directory)
+        if path.exists() and not path.is_dir():
+            raise ValueError(
+                f"{CACHE_ENV_VAR} must name a directory (created on "
+                f"demand), but {directory!r} exists and is not one"
+            )
         return cls(directory)

@@ -123,9 +123,17 @@ class SweepExecutor:
             workers = os.cpu_count() or 1
         else:
             try:
-                workers = max(1, int(raw))
-            except ValueError:
-                workers = 1
+                workers = int(raw)
+            except ValueError as exc:
+                raise ValueError(
+                    f"{WORKERS_ENV_VAR} must be a positive integer, "
+                    f"'0', or 'auto', got {raw!r}"
+                ) from exc
+            if workers < 1:
+                raise ValueError(
+                    f"{WORKERS_ENV_VAR} must be >= 1 (or '0'/'auto' for "
+                    f"the CPU count), got {workers}"
+                )
         return cls(workers=workers, cache=SweepCache.from_env())
 
     # ------------------------------------------------------------------

@@ -1,0 +1,1446 @@
+"""Forwarding-table compiler: routing families lowered to explicit tables.
+
+At the machine scales of Table 2, routing is not deployed as code -- a
+controller programs per-router forwarding/VC tables (the form the
+InfiniBand dragonfly literature certifies).  This module lowers every
+routing family of :mod:`repro.check.registry` into that form:
+
+* a :class:`ForwardingTables` object maps, per router, a lookup key
+  ``(dest_group, dest_router, in_vc)`` to one or more
+  :class:`TableEntry` values ``(out_port, out_vc)``;
+* routes are *programs over legs*: a :class:`Leg` names the table key a
+  packet enters the network (or a Valiant phase) with, and the table is
+  followed by threading -- each hop's ``out_vc`` is the next router's
+  ``in_vc`` (a ``next_vc`` override covers the torus dateline reset);
+* when one key has several candidate entries (several global links
+  between a group pair, several Clos up ports), entries carry a ``via``
+  tag and the leg says which tags its route committed to;
+* :class:`TableDrivenRouting` executes compiled dragonfly tables behind
+  the simulator's ``next_hop`` interface, hop-identical to the
+  algorithmic executor in :mod:`repro.routing.paths`;
+* :func:`compile_dragonfly_tables` accepts a
+  :class:`~repro.topology.faults.FaultSet` and recompiles around dead
+  links and routers (detour via a third group when a group pair loses
+  all its global links, local repair hops inside broken groups).
+
+The static verifier over this form lives in :mod:`repro.check.tables`;
+the versioned JSON export (:meth:`ForwardingTables.dump` /
+:meth:`ForwardingTables.load`) is what a controller pipeline would ship.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import (
+    AbstractSet,
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
+
+from ..network.packet import RoutePlan
+from ..topology.dragonfly import Dragonfly, GlobalLink
+from ..topology.faults import FaultSet, NO_FAULTS
+from ..topology.flattened_butterfly import FlattenedButterfly
+from ..topology.folded_clos import FoldedClos
+from ..topology.group_variants import FlattenedButterflyGroupDragonfly
+from ..topology.torus import Torus
+from . import clos_routing, fb_paths, paths, torus_routing, variant_paths
+from . import vc_assignment as vcs
+from .base import CongestionView, RoutingAlgorithm
+from .grammar import PathGrammar
+
+#: Version of the JSON table format; bumped on incompatible change.
+SCHEMA_VERSION = 1
+
+#: Lookup key: (dest_group, dest_router, in_vc).  Families without a
+#: group level (flattened butterfly, torus, folded Clos) use group 0.
+TableKey = Tuple[int, int, int]
+
+#: Discriminator for keys with several candidate entries:
+#: ``("link", src_router, src_port)`` names a global link,
+#: ``("up", level, port)`` a folded-Clos up-port choice.
+ViaTag = Tuple[Any, ...]
+
+
+class TableCompileError(Exception):
+    """The configuration cannot be lowered to consistent tables."""
+
+
+class TableRouteError(Exception):
+    """A table walk failed: missing key, ambiguous entry, or a loop."""
+
+
+def link_tag(link: GlobalLink) -> ViaTag:
+    """The via tag of a global link (its source endpoint is unique)."""
+    return ("link", link.src_router, link.src_port)
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    """One forwarding decision: output port and VC for a lookup key.
+
+    ``next_vc`` overrides the in-VC the packet presents at the next
+    router (default: ``out_vc``); only the torus dateline reset needs
+    it.  ``via`` tags the route choice this entry belongs to when its
+    key has several candidates.
+    """
+
+    out_port: int
+    out_vc: int
+    next_vc: Optional[int] = None
+    via: Optional[ViaTag] = None
+
+    @property
+    def in_vc_at_next(self) -> int:
+        return self.out_vc if self.next_vc is None else self.next_vc
+
+
+@dataclass(frozen=True)
+class Leg:
+    """One stage of a table-routed journey.
+
+    A packet (or Valiant phase) enters the tables with key
+    ``(target_group, target_router, entry_vc)`` and follows threading
+    until it stands on ``target_router``.  ``via`` restricts candidate
+    entries to the tags the route committed to at decision time.
+    """
+
+    target_group: int
+    target_router: int
+    entry_vc: int
+    via: Optional[FrozenSet[ViaTag]] = None
+
+
+@dataclass(frozen=True)
+class RouteCase:
+    """One enumerable route: its leg program and the algorithmic trace.
+
+    ``algorithmic`` is the (router, out_port, out_vc) trace the family's
+    executor produces for the same decision, ending with the ejection
+    hop -- ``None`` for fault-degraded configurations, which have no
+    algorithmic counterpart.
+    """
+
+    label: str
+    src_router: int
+    dst_terminal: int
+    legs: Tuple[Leg, ...]
+    algorithmic: Optional[Tuple[Tuple[int, int, int], ...]] = None
+
+
+class ForwardingTables:
+    """Compiled per-router forwarding tables with a versioned export.
+
+    ``routers[r]`` maps a :data:`TableKey` to the candidate entries for
+    that key, keyed by via tag (``None`` for single-candidate keys).
+    ``meta`` carries verifier-relevant compile provenance: the Valiant
+    flip parameters (which VCs can start a new leg where) and, for
+    degraded tables, the chosen detours.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        family: str,
+        num_vcs: int,
+        num_routers: int,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.family = family
+        self.num_vcs = num_vcs
+        self.num_routers = num_routers
+        self.meta: Dict[str, Any] = meta or {}
+        self.routers: Dict[int, Dict[TableKey, Dict[Optional[ViaTag], TableEntry]]] = {}
+
+    # -- construction ---------------------------------------------------
+    def add(self, router: int, key: TableKey, entry: TableEntry) -> None:
+        """Add an entry; duplicates collapse, contradictions raise.
+
+        Two entries for the same (router, key, via) must agree exactly
+        -- a disagreement means two route stages demand different
+        behaviour from one table slot, i.e. the family is not lowerable
+        with this key structure.
+        """
+        if entry.out_vc >= self.num_vcs or (
+            entry.next_vc is not None and entry.next_vc >= self.num_vcs
+        ):
+            raise TableCompileError(
+                f"entry {entry} at router {router} key {key} exceeds "
+                f"the {self.num_vcs}-VC budget of {self.name}"
+            )
+        slots = self.routers.setdefault(router, {}).setdefault(key, {})
+        existing = slots.get(entry.via)
+        if existing is None:
+            slots[entry.via] = entry
+        elif existing != entry:
+            raise TableCompileError(
+                f"conflicting entries at router {router} key {key} "
+                f"via {entry.via}: {existing} vs {entry}"
+            )
+
+    def replace(self, router: int, key: TableKey, entry: TableEntry) -> None:
+        """Overwrite the (router, key, via) slot (fault-repair pass)."""
+        self.routers[router][key][entry.via] = entry
+
+    # -- queries --------------------------------------------------------
+    def candidates(self, router: int, key: TableKey) -> Tuple[TableEntry, ...]:
+        slots = self.routers.get(router, {}).get(key)
+        if not slots:
+            return ()
+        return tuple(
+            slots[tag] for tag in sorted(slots, key=lambda t: (t is not None, t))
+        )
+
+    def lookup(
+        self,
+        router: int,
+        key: TableKey,
+        via: Optional[AbstractSet[ViaTag]] = None,
+    ) -> TableEntry:
+        """Resolve the entry a packet with this key takes at ``router``.
+
+        Single-candidate keys resolve unconditionally; multi-candidate
+        keys need the leg's ``via`` set to select exactly one entry.
+        """
+        entries = self.candidates(router, key)
+        if not entries:
+            raise TableRouteError(
+                f"router {router} has no entry for key {key} in {self.name}"
+            )
+        if len(entries) == 1:
+            return entries[0]
+        if via:
+            matched = [e for e in entries if e.via in via]
+            if matched and all(e == matched[0] for e in matched):
+                return matched[0]
+        raise TableRouteError(
+            f"router {router} key {key}: {len(entries)} candidates, "
+            f"via {sorted(via) if via else None} does not select one"
+        )
+
+    def entries(self) -> Iterator[Tuple[int, TableKey, TableEntry]]:
+        """All (router, key, entry) triples in deterministic order."""
+        for router in sorted(self.routers):
+            table = self.routers[router]
+            for key in sorted(table):
+                for entry in self.candidates(router, key):
+                    yield router, key, entry
+
+    def num_entries(self) -> int:
+        return sum(1 for _ in self.entries())
+
+    # -- serialisation --------------------------------------------------
+    def to_json_dict(self) -> Dict[str, Any]:
+        routers: Dict[str, Dict[str, List[List[Any]]]] = {}
+        for router in sorted(self.routers):
+            table: Dict[str, List[List[Any]]] = {}
+            for key in sorted(self.routers[router]):
+                table["/".join(str(part) for part in key)] = [
+                    [
+                        e.out_port,
+                        e.out_vc,
+                        e.next_vc,
+                        list(e.via) if e.via is not None else None,
+                    ]
+                    for e in self.candidates(router, key)
+                ]
+            routers[str(router)] = table
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "name": self.name,
+            "family": self.family,
+            "num_vcs": self.num_vcs,
+            "num_routers": self.num_routers,
+            "meta": self.meta,
+            "routers": routers,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "ForwardingTables":
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise TableCompileError(
+                f"unsupported table schema version {version!r} "
+                f"(this build reads version {SCHEMA_VERSION})"
+            )
+        tables = cls(
+            name=data["name"],
+            family=data["family"],
+            num_vcs=data["num_vcs"],
+            num_routers=data["num_routers"],
+            meta=dict(data.get("meta", {})),
+        )
+        for router_text, table in data["routers"].items():
+            router = int(router_text)
+            for key_text, raw_entries in table.items():
+                g, r, vc = (int(part) for part in key_text.split("/"))
+                for out_port, out_vc, next_vc, via in raw_entries:
+                    tables.add(
+                        router,
+                        (g, r, vc),
+                        TableEntry(
+                            out_port=out_port,
+                            out_vc=out_vc,
+                            next_vc=next_vc,
+                            via=tuple(via) if via is not None else None,
+                        ),
+                    )
+        return tables
+
+    def dump(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json_dict(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ForwardingTables":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json_dict(json.load(handle))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ForwardingTables):
+            return NotImplemented
+        return self.to_json_dict() == other.to_json_dict()
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.num_entries()} entries over "
+            f"{len(self.routers)} routers, {self.num_vcs} VCs"
+        )
+
+
+def table_walk_route(
+    topology: Any,
+    tables: ForwardingTables,
+    src_router: int,
+    dst_terminal: int,
+    legs: Tuple[Leg, ...],
+) -> List[Tuple[int, int, int]]:
+    """Execute a leg program over compiled tables.
+
+    Returns the (router, out_port, out_vc) trace ending with the
+    ejection hop -- the same shape as the algorithmic ``walk_route``
+    functions, which is what makes the two executors comparable hop by
+    hop.  Raises :class:`TableRouteError` on a missing or ambiguous
+    entry or when the walk exceeds the loop bound.
+    """
+    fabric = topology.fabric
+    trace: List[Tuple[int, int, int]] = []
+    router = src_router
+    bound = 4 * tables.num_routers + 16
+    steps = 0
+    for leg in legs:
+        in_vc = leg.entry_vc
+        while router != leg.target_router:
+            entry = tables.lookup(
+                router, (leg.target_group, leg.target_router, in_vc), leg.via
+            )
+            trace.append((router, entry.out_port, entry.out_vc))
+            channel = fabric.out_channel(router, entry.out_port)
+            if channel is None:
+                raise TableRouteError(
+                    f"entry {entry} at router {router} points at an "
+                    f"unwired port in {tables.name}"
+                )
+            router = channel.dst.router
+            in_vc = entry.in_vc_at_next
+            steps += 1
+            if steps > bound:
+                raise TableRouteError(
+                    f"table walk from router {src_router} to terminal "
+                    f"{dst_terminal} exceeded {bound} hops (routing loop) "
+                    f"in {tables.name}"
+                )
+    trace.append((router, topology.terminal_port(dst_terminal), 0))
+    return trace
+
+
+# ----------------------------------------------------------------------
+# Grouped families: dragonfly and the Figure 6 flattened-butterfly-group
+# variant share the compiler; only the intra-group step function differs
+# (direct local channel vs the first hop of a dimension-order walk).
+# ----------------------------------------------------------------------
+def _grouped_flip_meta(assignment: vcs.VcAssignment) -> Dict[str, Any]:
+    """Valiant flip parameters for the table-level CDG (see check.tables).
+
+    After the first global hop of a non-minimal route (key VC
+    ``nonminimal_first_vc``), the packet abandons its phase-0 key and
+    re-enters the tables with the destination leg's key (entry VC
+    ``intermediate_vc``, destination group necessarily different from
+    the landing group).  The verifier adds dependency edges for exactly
+    these leg boundaries.
+    """
+    return {
+        "source_vcs": [assignment.nonminimal_first_vc],
+        "entry_vc": assignment.intermediate_vc,
+        "global_only": True,
+        "grouped": True,
+    }
+
+
+def _compile_grouped(
+    topology: Any,
+    assignment: vcs.VcAssignment,
+    include_nonminimal: bool,
+    local_toward: Callable[[int, int], int],
+    family: str,
+    name: str,
+) -> ForwardingTables:
+    """Lower dragonfly-style routing (Section 4.1) onto tables.
+
+    Entry kinds, mirroring the algorithmic executor's stages:
+
+    * destination-group entries: key ``(G, R, vc)`` at every other
+      router of ``G`` steps toward ``R`` on the final-local VC, for
+      ``vc`` in {final, minimal-first, intermediate} (the latter two are
+      the global-hop landing VCs of minimal and Valiant routes);
+    * minimal-stage entries: at every router of every other group ``S``,
+      key ``(G, R, minimal_first)`` steps toward (then across) each
+      global link ``S -> G``, tagged with the link's via;
+    * the same per-link entries on the intermediate VC serve the
+      Valiant route's second phase;
+    * phase-0 entries: key ``(M, link.dst_router, nonminimal_first)``
+      steps toward (then across) each global link ``S -> M`` -- the
+      Valiant first phase targets the link's landing router.
+
+    Keys sharing a VC between stages (e.g. the canonical assignment's
+    ``minimal_first == intermediate``) produce *identical* entries and
+    collapse in :meth:`ForwardingTables.add`; a true contradiction
+    raises :class:`TableCompileError`.
+    """
+    a, g = topology.a, topology.g
+    nonmin = include_nonminimal and assignment.supports_nonminimal
+    mf = assignment.minimal_first_vc
+    nf = assignment.nonminimal_first_vc
+    iv = assignment.intermediate_vc
+    fv = assignment.final_local_vc
+    meta = _grouped_flip_meta(assignment) if nonmin else {}
+    tables = ForwardingTables(
+        name=name,
+        family=family,
+        num_vcs=assignment.num_vcs,
+        num_routers=topology.fabric.num_routers,
+        meta={"flip": meta} if meta else {},
+    )
+    for dest_group in range(g):
+        group_routers = range(dest_group * a, (dest_group + 1) * a)
+        for dest in group_routers:
+            landing_vcs = {fv, mf} | ({iv} if nonmin else set())
+            for router in group_routers:
+                if router == dest:
+                    continue
+                port = local_toward(router, dest)
+                for vc in landing_vcs:
+                    tables.add(router, (dest_group, dest, vc), TableEntry(port, fv))
+            for src_group in range(g):
+                if src_group == dest_group:
+                    continue
+                for link in topology.group_links(src_group, dest_group):
+                    tag = link_tag(link)
+                    stage_vcs = (mf, iv) if nonmin else (mf,)
+                    for router in range(src_group * a, (src_group + 1) * a):
+                        if router == link.src_router:
+                            port = link.src_port
+                        else:
+                            port = local_toward(router, link.src_router)
+                        for vc in stage_vcs:
+                            tables.add(
+                                router,
+                                (dest_group, dest, vc),
+                                TableEntry(port, vc, via=tag),
+                            )
+    if nonmin:
+        for src_group in range(g):
+            for mid_group in range(g):
+                if mid_group == src_group:
+                    continue
+                for link in topology.group_links(src_group, mid_group):
+                    tag = link_tag(link)
+                    key = (mid_group, link.dst_router, nf)
+                    for router in range(src_group * a, (src_group + 1) * a):
+                        if router == link.src_router:
+                            port = link.src_port
+                        else:
+                            port = local_toward(router, link.src_router)
+                        tables.add(router, key, TableEntry(port, nf, via=tag))
+    return tables
+
+
+def _grouped_min_legs(
+    topology: Any, assignment: vcs.VcAssignment, plan: RoutePlan, dest: int
+) -> Tuple[Leg, ...]:
+    dest_group = topology.group_of(dest)
+    if plan.gc1 is None:
+        return (Leg(dest_group, dest, assignment.final_local_vc),)
+    return (
+        Leg(
+            dest_group,
+            dest,
+            assignment.minimal_first_vc,
+            via=frozenset((link_tag(plan.gc1),)),
+        ),
+    )
+
+
+def _grouped_valiant_legs(
+    topology: Any, assignment: vcs.VcAssignment, plan: RoutePlan, dest: int
+) -> Tuple[Leg, ...]:
+    assert plan.gc1 is not None and plan.gc2 is not None
+    mid = plan.gc1.dst_router
+    return (
+        Leg(
+            topology.group_of(mid),
+            mid,
+            assignment.nonminimal_first_vc,
+            via=frozenset((link_tag(plan.gc1),)),
+        ),
+        Leg(
+            topology.group_of(dest),
+            dest,
+            assignment.intermediate_vc,
+            via=frozenset((link_tag(plan.gc2),)),
+        ),
+    )
+
+
+def compile_dragonfly_tables(
+    topology: Dragonfly,
+    assignment: vcs.VcAssignment = vcs.CANONICAL,
+    include_nonminimal: bool = True,
+    faults: FaultSet = NO_FAULTS,
+    name: Optional[str] = None,
+) -> ForwardingTables:
+    """Compile dragonfly routing to tables, optionally around faults."""
+    if faults:
+        return _compile_degraded_dragonfly(
+            topology, assignment, include_nonminimal, faults, name
+        )
+    return _compile_grouped(
+        topology,
+        assignment,
+        include_nonminimal,
+        topology.local_port,
+        family="dragonfly",
+        name=name or f"dragonfly@{assignment.name}",
+    )
+
+
+def compile_variant_tables(
+    topology: FlattenedButterflyGroupDragonfly,
+    assignment: vcs.VcAssignment = vcs.CANONICAL,
+    include_nonminimal: bool = True,
+    name: Optional[str] = None,
+) -> ForwardingTables:
+    """Compile Figure 6 group-variant routing to tables.
+
+    Identical key structure to the dragonfly; the intra-group step is
+    the first hop of the group's dimension-order walk, and threading
+    (equal in/out VC within a stage) carries the walk to its target.
+    """
+
+    def local_toward(router: int, target: int) -> int:
+        return variant_paths._dor_port(topology, router, target)
+
+    return _compile_grouped(
+        topology,
+        assignment,
+        include_nonminimal,
+        local_toward,
+        family="dragonfly-fbgroup",
+        name=name or f"dragonfly-fbgroup@{assignment.name}",
+    )
+
+
+# ----------------------------------------------------------------------
+# Fault-degraded dragonfly compilation
+# ----------------------------------------------------------------------
+def _detour_choice(
+    topology: Dragonfly, faults: FaultSet, src_group: int, dest_group: int
+) -> Tuple[int, GlobalLink, GlobalLink]:
+    """Deterministic detour for a disconnected group pair.
+
+    The smallest third group with surviving links both ways, using the
+    first surviving link of each stage -- deterministic so exported
+    tables, verifier legs, and re-compiles agree without coordination.
+    """
+    for mid_group in range(topology.g):
+        if mid_group in (src_group, dest_group):
+            continue
+        first_leg = [
+            link
+            for link in topology.group_links(src_group, mid_group)
+            if not faults.link_dead(link.src_router, link.dst_router)
+        ]
+        second_leg = [
+            link
+            for link in topology.group_links(mid_group, dest_group)
+            if not faults.link_dead(link.src_router, link.dst_router)
+        ]
+        if first_leg and second_leg:
+            return mid_group, first_leg[0], second_leg[0]
+    raise TableCompileError(
+        f"groups {src_group} and {dest_group} are disconnected even via "
+        f"detours under faults ({faults.describe()})"
+    )
+
+
+def _compile_degraded_dragonfly(
+    topology: Dragonfly,
+    assignment: vcs.VcAssignment,
+    include_nonminimal: bool,
+    faults: FaultSet,
+    name: Optional[str],
+) -> ForwardingTables:
+    """Minimal tables routing around a fault set.
+
+    Degraded tables are compiled for minimal traffic only: Valiant's
+    randomised phase has no business on a fabric the controller is
+    actively routing around, and the three-stage VC ladder of the
+    non-minimal assignment is repurposed for *detours* -- when a group
+    pair loses every direct global link, routes take
+    ``src group --(nonminimal_first)--> mid group --(intermediate)-->
+    destination group --(final)``, exactly the published non-minimal VC
+    grammar, so one certified assignment covers both healthy minimal
+    routes and fault detours.
+
+    Local faults inside a (no longer complete) group are handled by a
+    repair pass: entries whose direct local channel died are repointed
+    to the smallest surviving neighbour whose own tables continue the
+    same key.
+    """
+    faults.validate(topology)
+    if include_nonminimal:
+        raise TableCompileError(
+            "degraded tables are minimal-only: compile with "
+            "include_nonminimal=False (the non-minimal VC ladder is "
+            "reserved for fault detours)"
+        )
+    if not assignment.supports_nonminimal:
+        raise TableCompileError(
+            "fault detours need the non-minimal VC ladder; assignment "
+            f"{assignment.name!r} does not provide one"
+        )
+    a, g = topology.a, topology.g
+    mf = assignment.minimal_first_vc
+    nf = assignment.nonminimal_first_vc
+    iv = assignment.intermediate_vc
+    fv = assignment.final_local_vc
+    tables = ForwardingTables(
+        name=name or f"dragonfly-degraded@{assignment.name}",
+        family="dragonfly",
+        num_vcs=assignment.num_vcs,
+        num_routers=topology.fabric.num_routers,
+        meta={"faults": faults.describe(), "detours": {}},
+    )
+
+    def alive(router: int) -> bool:
+        return not faults.router_dead(router)
+
+    def surviving_links(src_group: int, dest_group: int) -> List[GlobalLink]:
+        return [
+            link
+            for link in topology.group_links(src_group, dest_group)
+            if not faults.link_dead(link.src_router, link.dst_router)
+        ]
+
+    for dest_group in range(g):
+        group_routers = [r for r in range(dest_group * a, (dest_group + 1) * a)]
+        for dest in group_routers:
+            if not alive(dest):
+                continue
+            # Destination-group entries (landing VCs: minimal landing on
+            # mf, detour landing on iv, plus the final-local key).
+            for router in group_routers:
+                if router == dest or not alive(router):
+                    continue
+                port = topology.local_port(router, dest)
+                for vc in {fv, mf, iv}:
+                    tables.add(router, (dest_group, dest, vc), TableEntry(port, fv))
+            for src_group in range(g):
+                if src_group == dest_group:
+                    continue
+                links = surviving_links(src_group, dest_group)
+                if links:
+                    for link in links:
+                        tag = link_tag(link)
+                        for router in range(src_group * a, (src_group + 1) * a):
+                            if not alive(router):
+                                continue
+                            if router == link.src_router:
+                                port = link.src_port
+                            else:
+                                port = topology.local_port(router, link.src_router)
+                            # mf carries direct minimal traffic; iv
+                            # carries detour traffic for which this
+                            # group is the mid (identical entries when
+                            # the assignment shares the two VCs).
+                            for vc in {mf, iv}:
+                                tables.add(
+                                    router,
+                                    (dest_group, dest, vc),
+                                    TableEntry(port, vc, via=tag),
+                                )
+                    continue
+                # Disconnected pair: route via a detour group.
+                mid_group, first, second = _detour_choice(
+                    topology, faults, src_group, dest_group
+                )
+                tables.meta["detours"][f"{src_group}->{dest_group}"] = {
+                    "mid_group": mid_group,
+                    "first": list(link_tag(first)),
+                    "second": list(link_tag(second)),
+                }
+                first_tag = link_tag(first)
+                second_tag = link_tag(second)
+                for router in range(src_group * a, (src_group + 1) * a):
+                    if not alive(router):
+                        continue
+                    if router == first.src_router:
+                        port = first.src_port
+                    else:
+                        port = topology.local_port(router, first.src_router)
+                    tables.add(
+                        router,
+                        (dest_group, dest, nf),
+                        TableEntry(port, nf, via=first_tag),
+                    )
+                for router in range(mid_group * a, (mid_group + 1) * a):
+                    if not alive(router):
+                        continue
+                    if router == second.src_router:
+                        port = second.src_port
+                    else:
+                        port = topology.local_port(router, second.src_router)
+                    # The detour lands here on the phase-0 VC and climbs
+                    # onto the intermediate VC for the second stage.
+                    for vc in {nf, iv}:
+                        tables.add(
+                            router,
+                            (dest_group, dest, vc),
+                            TableEntry(port, iv, via=second_tag),
+                        )
+    _repair_local_entries(topology, tables, faults)
+    return tables
+
+
+def _repair_local_entries(
+    topology: Dragonfly, tables: ForwardingTables, faults: FaultSet
+) -> None:
+    """Repoint entries whose direct local channel died.
+
+    The replacement neighbour ``w`` must be reachable from the entry's
+    router, still reach the original next router, and (by construction
+    of the degraded compiler) hold entries for every key it may be
+    handed -- its own table continues the walk.  Chains of repairs are
+    allowed; a repair that closes a loop is *not* prevented here, it is
+    the verifier's job to refute such a table set.
+    """
+    fabric = topology.fabric
+    repairs: List[Tuple[int, TableKey, TableEntry, TableEntry]] = []
+    for router, key, entry in tables.entries():
+        channel = fabric.out_channel(router, entry.out_port)
+        if channel is None:
+            continue
+        next_router = channel.dst.router
+        if not faults.link_dead(router, next_router):
+            continue
+        group = topology.group_of(router)
+        replacement = None
+        for candidate in range(group * topology.a, (group + 1) * topology.a):
+            if candidate in (router, next_router):
+                continue
+            if faults.link_dead(router, candidate):
+                continue
+            if faults.link_dead(candidate, next_router):
+                continue
+            replacement = candidate
+            break
+        if replacement is None:
+            raise TableCompileError(
+                f"router {router} cannot reach {next_router} under faults "
+                f"({faults.describe()}): no surviving local relay"
+            )
+        repaired = TableEntry(
+            out_port=topology.local_port(router, replacement),
+            out_vc=entry.out_vc,
+            next_vc=entry.next_vc,
+            via=entry.via,
+        )
+        repairs.append((router, key, entry, repaired))
+    for router, key, _old, new in repairs:
+        tables.replace(router, key, new)
+
+
+# ----------------------------------------------------------------------
+# Flattened butterfly
+# ----------------------------------------------------------------------
+def compile_fb_tables(
+    topology: FlattenedButterfly, name: Optional[str] = None
+) -> ForwardingTables:
+    """Compile DOR + router-Valiant flattened-butterfly routing.
+
+    Keys ``(0, dest, phase)``: phase 0 serves both minimal traffic and
+    the first Valiant leg, phase 1 the second leg; each entry corrects
+    the first differing dimension on the phase's VC.
+    """
+    tables = ForwardingTables(
+        name=name or "flattened-butterfly@phase-vcs",
+        family="flattened-butterfly",
+        num_vcs=2,
+        num_routers=topology.num_routers,
+        meta={"flip": {
+            "source_vcs": [0],
+            "entry_vc": 1,
+            "global_only": False,
+            "grouped": False,
+        }},
+    )
+    for dest in range(topology.num_routers):
+        dest_coords = topology.coords_of(dest)
+        for router in range(topology.num_routers):
+            if router == dest:
+                continue
+            coords = topology.coords_of(router)
+            for dim, (coord, goal) in enumerate(zip(coords, dest_coords)):
+                if coord != goal:
+                    port = topology.dim_port(router, dim, goal)
+                    break
+            for phase in (0, 1):
+                tables.add(router, (0, dest, phase), TableEntry(port, phase))
+    return tables
+
+
+def _fb_legs(
+    topology: FlattenedButterfly, plan: fb_paths.FbRoutePlan, dest: int
+) -> Tuple[Leg, ...]:
+    if plan.minimal or plan.intermediate_router is None:
+        return (Leg(0, dest, 0),)
+    return (Leg(0, plan.intermediate_router, 0), Leg(0, dest, 1))
+
+
+# ----------------------------------------------------------------------
+# Torus (dateline DOR)
+# ----------------------------------------------------------------------
+def compile_torus_tables(
+    topology: Torus,
+    include_nonminimal: bool = False,
+    name: Optional[str] = None,
+) -> ForwardingTables:
+    """Compile dateline dimension-order torus routing.
+
+    Keys ``(0, dest, 2*phase + crossed)`` mirror the executor's progress
+    encoding: ``crossed`` tracks whether the ring currently being
+    corrected has wrapped.  The hop that finishes a dimension resets the
+    next router's in-VC to the phase's fresh VC via ``next_vc`` -- the
+    one place threading is not "in equals out".
+    """
+    phases = (0, 1) if include_nonminimal else (0,)
+    num_vcs = 4 if include_nonminimal else 2
+    meta: Dict[str, Any] = {}
+    if include_nonminimal:
+        meta["flip"] = {
+            "source_vcs": [0, 1],
+            "entry_vc": 2,
+            "global_only": False,
+            "grouped": False,
+        }
+    tables = ForwardingTables(
+        name=name or f"torus@dateline-{num_vcs}vc",
+        family="torus",
+        num_vcs=num_vcs,
+        num_routers=topology.num_routers,
+        meta=meta,
+    )
+    for dest in range(topology.num_routers):
+        dest_coords = topology.coords_of(dest)
+        for router in range(topology.num_routers):
+            if router == dest:
+                continue
+            coords = topology.coords_of(router)
+            for dim, (coord, goal) in enumerate(zip(coords, dest_coords)):
+                if coord != goal:
+                    break
+            size = topology.dims[dim]
+            direction, wraps = torus_routing._ring_step(coord, goal, size)
+            port = (
+                topology.plus_port(dim) if direction > 0 else topology.minus_port(dim)
+            )
+            next_coord = (coord + direction) % size
+            finishes_dim = next_coord == goal
+            for phase in phases:
+                for crossed in (0, 1):
+                    vc = 2 * phase + (1 if (crossed or wraps) else 0)
+                    if finishes_dim:
+                        next_vc: Optional[int] = 2 * phase if vc != 2 * phase else None
+                    else:
+                        next_vc = None
+                    tables.add(
+                        router,
+                        (0, dest, 2 * phase + crossed),
+                        TableEntry(port, vc, next_vc=next_vc),
+                    )
+    return tables
+
+
+def _torus_legs(
+    topology: Torus, plan: torus_routing.TorusRoutePlan, dest: int
+) -> Tuple[Leg, ...]:
+    if plan.minimal or plan.intermediate_router is None:
+        return (Leg(0, dest, 0),)
+    return (Leg(0, plan.intermediate_router, 0), Leg(0, dest, 2))
+
+
+# ----------------------------------------------------------------------
+# Folded Clos (up*/down*)
+# ----------------------------------------------------------------------
+def compile_clos_tables(
+    topology: FoldedClos, name: Optional[str] = None
+) -> ForwardingTables:
+    """Compile up*/down* folded-Clos routing.
+
+    One key per destination leaf on the single VC.  Ancestors of the
+    leaf descend deterministically (the leaf's digit at their level);
+    every other switch ascends, with one via-tagged candidate per up
+    port -- the route's freedom lives entirely in the leg's via set.
+    """
+    down = topology.down
+    tables = ForwardingTables(
+        name=name or "folded-clos@updown",
+        family="folded-clos",
+        num_vcs=1,
+        num_routers=topology.num_switches,
+        meta={},
+    )
+    for dest in range(topology.switches_per_level):
+        dest_digits = topology.digits_of_leaf(dest)
+        for switch in range(topology.num_switches):
+            if switch == dest:
+                continue
+            level = topology.level_of(switch)
+            digits = topology._digits(topology.index_of(switch))
+            is_ancestor = level > 0 and digits[level:] == dest_digits[level:]
+            if is_ancestor:
+                tables.add(
+                    switch, (0, dest, 0), TableEntry(dest_digits[level - 1], 0)
+                )
+            else:
+                for up in range(down):
+                    tables.add(
+                        switch,
+                        (0, dest, 0),
+                        TableEntry(down + up, 0, via=("up", level, up)),
+                    )
+    return tables
+
+
+def _clos_legs(
+    topology: FoldedClos, plan: clos_routing.ClosRoutePlan, dest_leaf: int
+) -> Tuple[Leg, ...]:
+    via = frozenset(
+        ("up", level, plan.up_ports[level]) for level in range(plan.ancestor_level)
+    )
+    return (Leg(0, dest_leaf, 0, via=via or None),)
+
+
+# ----------------------------------------------------------------------
+# Table-driven simulator executor (dragonfly family)
+# ----------------------------------------------------------------------
+class TableDrivenRouting(RoutingAlgorithm):
+    """Run the simulator off compiled dragonfly tables.
+
+    Wraps any dragonfly routing algorithm: ``decide`` is delegated (so
+    plans, rng consumption, and congestion sensing are untouched) while
+    every hop is resolved by table lookup instead of the algorithmic
+    executor.  Overriding ``next_hop`` automatically disables the
+    simulator's hop cache, so the tables are consulted for every hop of
+    every flit -- the round-trip contract "export, import, simulate"
+    certifies the deployed configuration, not a memo of the code.
+    """
+
+    def __init__(
+        self,
+        base: RoutingAlgorithm,
+        tables: ForwardingTables,
+        assignment: vcs.VcAssignment = vcs.CANONICAL,
+    ) -> None:
+        self.base = base
+        self.tables = tables
+        self.assignment = assignment
+        self.name = base.name
+        self.needs_credit_delay = base.needs_credit_delay
+
+    def decide(
+        self,
+        view: CongestionView,
+        topology: Dragonfly,
+        rng: random.Random,
+        src_router: int,
+        dst_terminal: int,
+    ) -> RoutePlan:
+        return self.base.decide(view, topology, rng, src_router, dst_terminal)
+
+    def next_hop(
+        self,
+        topology: Any,
+        router: int,
+        plan: RoutePlan,
+        progress: int,
+        dst_terminal: int,
+    ) -> Tuple[int, int, int]:
+        assignment = self.assignment
+        if plan.gc1 is not None and progress == 0:
+            link = plan.gc1
+            took_global = router == link.src_router
+            if plan.minimal:
+                dest = topology.terminal_router(dst_terminal)
+                key = (topology.group_of(dest), dest, assignment.minimal_first_vc)
+            else:
+                key = (
+                    topology.group_of(link.dst_router),
+                    link.dst_router,
+                    assignment.nonminimal_first_vc,
+                )
+            entry = self.tables.lookup(router, key, {link_tag(link)})
+            return entry.out_port, entry.out_vc, progress + (1 if took_global else 0)
+        if plan.gc2 is not None and progress == 1:
+            link = plan.gc2
+            took_global = router == link.src_router
+            dest = topology.terminal_router(dst_terminal)
+            key = (topology.group_of(dest), dest, assignment.intermediate_vc)
+            entry = self.tables.lookup(router, key, {link_tag(link)})
+            return entry.out_port, entry.out_vc, progress + (1 if took_global else 0)
+        dest = topology.terminal_router(dst_terminal)
+        if router == dest:
+            return topology.terminal_port(dst_terminal), 0, progress
+        key = (topology.group_of(dest), dest, assignment.final_local_vc)
+        entry = self.tables.lookup(router, key)
+        return entry.out_port, entry.out_vc, progress
+
+
+# ----------------------------------------------------------------------
+# Lowerings: bind one registry configuration to its compiler, its route
+# cases (leg programs + algorithmic traces), and its hop classifier.
+# ----------------------------------------------------------------------
+class Lowering:
+    """Everything the table verifier needs to know about one family."""
+
+    family: str = "base"
+
+    @property
+    def topology(self) -> Any:
+        raise NotImplementedError
+
+    def compile(self) -> ForwardingTables:
+        raise NotImplementedError
+
+    def cases(self) -> Iterator[RouteCase]:
+        """Every route the family can emit, as a table leg program."""
+        raise NotImplementedError
+
+    def grammar(self) -> PathGrammar:
+        raise NotImplementedError
+
+    def classify_hop(self, router: int, port: int, vc: int) -> Tuple[str, int, str]:
+        """Map a trace hop onto its grammar (kind, vc, role) class."""
+        raise NotImplementedError
+
+
+class _GroupedLowering(Lowering):
+    """Shared dragonfly / group-variant lowering."""
+
+    def __init__(
+        self,
+        topology: Any,
+        assignment: vcs.VcAssignment,
+        include_nonminimal: bool,
+    ) -> None:
+        self._topology = topology
+        self.assignment = assignment
+        self.include_nonminimal = (
+            include_nonminimal and assignment.supports_nonminimal
+        )
+
+    @property
+    def topology(self) -> Any:
+        return self._topology
+
+    def classify_hop(self, router: int, port: int, vc: int) -> Tuple[str, int, str]:
+        channel = self._topology.fabric.out_channel(router, port)
+        assert channel is not None
+        return channel.kind.value, vc, ""
+
+    def _walk(self, src_router: int, dst_terminal: int, plan: RoutePlan):
+        raise NotImplementedError
+
+    def cases(self) -> Iterator[RouteCase]:
+        topology = self._topology
+        assignment = self.assignment
+        for src_router in range(topology.fabric.num_routers):
+            src_group = topology.group_of(src_router)
+            for dst_terminal in range(topology.num_terminals):
+                dest = topology.terminal_router(dst_terminal)
+                dest_group = topology.group_of(dest)
+                if src_group == dest_group:
+                    plan = RoutePlan(minimal=True)
+                    yield RouteCase(
+                        label=f"intra r{src_router}->t{dst_terminal}",
+                        src_router=src_router,
+                        dst_terminal=dst_terminal,
+                        legs=_grouped_min_legs(topology, assignment, plan, dest),
+                        algorithmic=tuple(self._walk(src_router, dst_terminal, plan)),
+                    )
+                    continue
+                for gc1 in topology.group_links(src_group, dest_group):
+                    plan = RoutePlan(minimal=True, gc1=gc1)
+                    yield RouteCase(
+                        label=(
+                            f"min r{src_router}->t{dst_terminal} "
+                            f"via {gc1.src_port}@{gc1.src_router}"
+                        ),
+                        src_router=src_router,
+                        dst_terminal=dst_terminal,
+                        legs=_grouped_min_legs(topology, assignment, plan, dest),
+                        algorithmic=tuple(self._walk(src_router, dst_terminal, plan)),
+                    )
+                if not self.include_nonminimal:
+                    continue
+                for mid_group in range(topology.g):
+                    if mid_group in (src_group, dest_group):
+                        continue
+                    for gc1 in topology.group_links(src_group, mid_group):
+                        for gc2 in topology.group_links(mid_group, dest_group):
+                            plan = RoutePlan(minimal=False, gc1=gc1, gc2=gc2)
+                            yield RouteCase(
+                                label=(
+                                    f"val r{src_router}->t{dst_terminal} "
+                                    f"mid g{mid_group}"
+                                ),
+                                src_router=src_router,
+                                dst_terminal=dst_terminal,
+                                legs=_grouped_valiant_legs(
+                                    topology, assignment, plan, dest
+                                ),
+                                algorithmic=tuple(
+                                    self._walk(src_router, dst_terminal, plan)
+                                ),
+                            )
+
+
+class DragonflyLowering(_GroupedLowering):
+    family = "dragonfly"
+
+    def compile(self) -> ForwardingTables:
+        return compile_dragonfly_tables(
+            self._topology, self.assignment, self.include_nonminimal
+        )
+
+    def grammar(self) -> PathGrammar:
+        return paths.dragonfly_path_grammar(self.assignment, self.include_nonminimal)
+
+    def _walk(self, src_router: int, dst_terminal: int, plan: RoutePlan):
+        return paths.walk_route(
+            self._topology, src_router, dst_terminal, plan, self.assignment
+        )
+
+
+class VariantLowering(_GroupedLowering):
+    family = "dragonfly-fbgroup"
+
+    def compile(self) -> ForwardingTables:
+        return compile_variant_tables(
+            self._topology, self.assignment, self.include_nonminimal
+        )
+
+    def grammar(self) -> PathGrammar:
+        return variant_paths.variant_path_grammar(
+            self.assignment, self.include_nonminimal
+        )
+
+    def _walk(self, src_router: int, dst_terminal: int, plan: RoutePlan):
+        return variant_paths.variant_walk_route(
+            self._topology, src_router, dst_terminal, plan, self.assignment
+        )
+
+
+class DegradedDragonflyLowering(Lowering):
+    """Fault-degraded dragonfly: minimal routes plus explicit detours.
+
+    There is no algorithmic executor for the degraded fabric -- the
+    tables *are* the routing -- so cases carry no algorithmic trace and
+    the verifier certifies reachability, cycle-freedom, and grammar
+    membership of the table walks alone.  Detour walks match the
+    family's published non-minimal route class; local repair hops make
+    local segments multi-hop, so the degraded grammar is the group
+    variant's (multi-hop local segments, same VC ladder).
+    """
+
+    family = "dragonfly"
+
+    def __init__(
+        self,
+        topology: Dragonfly,
+        faults: FaultSet,
+        assignment: vcs.VcAssignment = vcs.CANONICAL,
+    ) -> None:
+        self._topology = topology
+        self.faults = faults
+        self.assignment = assignment
+
+    @property
+    def topology(self) -> Dragonfly:
+        return self._topology
+
+    def compile(self) -> ForwardingTables:
+        return compile_dragonfly_tables(
+            self._topology,
+            self.assignment,
+            include_nonminimal=False,
+            faults=self.faults,
+        )
+
+    def grammar(self) -> PathGrammar:
+        return variant_paths.variant_path_grammar(
+            self.assignment, include_nonminimal=True
+        )
+
+    def classify_hop(self, router: int, port: int, vc: int) -> Tuple[str, int, str]:
+        channel = self._topology.fabric.out_channel(router, port)
+        assert channel is not None
+        return channel.kind.value, vc, ""
+
+    def cases(self) -> Iterator[RouteCase]:
+        topology = self._topology
+        faults = self.faults
+        assignment = self.assignment
+        for src_router in range(topology.fabric.num_routers):
+            if faults.router_dead(src_router):
+                continue
+            src_group = topology.group_of(src_router)
+            for dst_terminal in range(topology.num_terminals):
+                dest = topology.terminal_router(dst_terminal)
+                if faults.router_dead(dest):
+                    continue
+                dest_group = topology.group_of(dest)
+                if src_group == dest_group:
+                    yield RouteCase(
+                        label=f"intra r{src_router}->t{dst_terminal}",
+                        src_router=src_router,
+                        dst_terminal=dst_terminal,
+                        legs=(Leg(dest_group, dest, assignment.final_local_vc),),
+                    )
+                    continue
+                links = [
+                    link
+                    for link in topology.group_links(src_group, dest_group)
+                    if not faults.link_dead(link.src_router, link.dst_router)
+                ]
+                if links:
+                    for link in links:
+                        yield RouteCase(
+                            label=f"min r{src_router}->t{dst_terminal}",
+                            src_router=src_router,
+                            dst_terminal=dst_terminal,
+                            legs=(
+                                Leg(
+                                    dest_group,
+                                    dest,
+                                    assignment.minimal_first_vc,
+                                    via=frozenset((link_tag(link),)),
+                                ),
+                            ),
+                        )
+                    continue
+                _mid, first, second = _detour_choice(
+                    topology, faults, src_group, dest_group
+                )
+                yield RouteCase(
+                    label=f"detour r{src_router}->t{dst_terminal}",
+                    src_router=src_router,
+                    dst_terminal=dst_terminal,
+                    legs=(
+                        Leg(
+                            dest_group,
+                            dest,
+                            assignment.nonminimal_first_vc,
+                            via=frozenset((link_tag(first), link_tag(second))),
+                        ),
+                    ),
+                )
+
+
+class FbLowering(Lowering):
+    family = "flattened-butterfly"
+
+    def __init__(self, topology: FlattenedButterfly) -> None:
+        self._topology = topology
+
+    @property
+    def topology(self) -> FlattenedButterfly:
+        return self._topology
+
+    def compile(self) -> ForwardingTables:
+        return compile_fb_tables(self._topology)
+
+    def grammar(self) -> PathGrammar:
+        return fb_paths.fb_path_grammar()
+
+    def classify_hop(self, router: int, port: int, vc: int) -> Tuple[str, int, str]:
+        return "local", vc, f"phase{vc}"
+
+    def cases(self) -> Iterator[RouteCase]:
+        topology = self._topology
+        for src_router in range(topology.num_routers):
+            for dst_terminal in range(topology.num_terminals):
+                dest = topology.terminal_router(dst_terminal)
+                plan = fb_paths.fb_minimal_plan()
+                yield RouteCase(
+                    label=f"min r{src_router}->t{dst_terminal}",
+                    src_router=src_router,
+                    dst_terminal=dst_terminal,
+                    legs=_fb_legs(topology, plan, dest),
+                    algorithmic=tuple(
+                        fb_paths.fb_walk_route(topology, src_router, dst_terminal, plan)
+                    ),
+                )
+                for mid in range(topology.num_routers):
+                    if mid in (src_router, dest):
+                        continue
+                    plan = fb_paths.FbRoutePlan(minimal=False, intermediate_router=mid)
+                    yield RouteCase(
+                        label=f"val r{src_router}->t{dst_terminal} mid r{mid}",
+                        src_router=src_router,
+                        dst_terminal=dst_terminal,
+                        legs=_fb_legs(topology, plan, dest),
+                        algorithmic=tuple(
+                            fb_paths.fb_walk_route(
+                                topology, src_router, dst_terminal, plan
+                            )
+                        ),
+                    )
+
+
+class TorusLowering(Lowering):
+    family = "torus"
+
+    def __init__(self, topology: Torus, include_nonminimal: bool) -> None:
+        self._topology = topology
+        self.include_nonminimal = include_nonminimal
+
+    @property
+    def topology(self) -> Torus:
+        return self._topology
+
+    def compile(self) -> ForwardingTables:
+        return compile_torus_tables(self._topology, self.include_nonminimal)
+
+    def grammar(self) -> PathGrammar:
+        return torus_routing.torus_path_grammar(
+            len(self._topology.dims), self.include_nonminimal
+        )
+
+    def classify_hop(self, router: int, port: int, vc: int) -> Tuple[str, int, str]:
+        dim = (port - self._topology.concentration) // 2
+        crossed = vc % 2
+        role = f"dim{dim}" + ("+dateline" if crossed else "")
+        return "ring", vc, role
+
+    def cases(self) -> Iterator[RouteCase]:
+        topology = self._topology
+        for src_router in range(topology.num_routers):
+            for dst_terminal in range(topology.num_terminals):
+                dest = topology.terminal_router(dst_terminal)
+                plan = torus_routing.torus_minimal_plan()
+                yield RouteCase(
+                    label=f"min r{src_router}->t{dst_terminal}",
+                    src_router=src_router,
+                    dst_terminal=dst_terminal,
+                    legs=_torus_legs(topology, plan, dest),
+                    algorithmic=tuple(
+                        torus_routing.torus_walk_route(
+                            topology, src_router, dst_terminal, plan
+                        )
+                    ),
+                )
+                if not self.include_nonminimal:
+                    continue
+                for mid in range(topology.num_routers):
+                    if mid in (src_router, dest):
+                        continue
+                    plan = torus_routing.TorusRoutePlan(
+                        minimal=False, intermediate_router=mid
+                    )
+                    yield RouteCase(
+                        label=f"val r{src_router}->t{dst_terminal} mid r{mid}",
+                        src_router=src_router,
+                        dst_terminal=dst_terminal,
+                        legs=_torus_legs(topology, plan, dest),
+                        algorithmic=tuple(
+                            torus_routing.torus_walk_route(
+                                topology, src_router, dst_terminal, plan
+                            )
+                        ),
+                    )
+
+
+class ClosLowering(Lowering):
+    family = "folded-clos"
+
+    def __init__(self, topology: FoldedClos) -> None:
+        self._topology = topology
+
+    @property
+    def topology(self) -> FoldedClos:
+        return self._topology
+
+    def compile(self) -> ForwardingTables:
+        return compile_clos_tables(self._topology)
+
+    def grammar(self) -> PathGrammar:
+        return clos_routing.clos_path_grammar(self._topology.levels)
+
+    def classify_hop(self, router: int, port: int, vc: int) -> Tuple[str, int, str]:
+        level = self._topology.level_of(router)
+        if port >= self._topology.down:
+            return "up", 0, f"level{level}->{level + 1}"
+        return "down", 0, f"level{level}->{level - 1}"
+
+    def cases(self) -> Iterator[RouteCase]:
+        import itertools
+
+        topology = self._topology
+        for src_terminal in range(topology.num_terminals):
+            src_router = topology.terminal_router(src_terminal)
+            for dst_terminal in range(topology.num_terminals):
+                dst_leaf = topology.terminal_router(dst_terminal)
+                ancestor = topology.ancestor_level(
+                    topology.index_of(src_router), dst_leaf
+                )
+                for up_ports in itertools.product(
+                    range(topology.down), repeat=ancestor
+                ):
+                    plan = clos_routing.ClosRoutePlan(
+                        minimal=True, ancestor_level=ancestor, up_ports=up_ports
+                    )
+                    yield RouteCase(
+                        label=(
+                            f"updown r{src_router}->t{dst_terminal} "
+                            f"up{list(up_ports)}"
+                        ),
+                        src_router=src_router,
+                        dst_terminal=dst_terminal,
+                        legs=_clos_legs(topology, plan, dst_leaf),
+                        algorithmic=tuple(
+                            clos_routing.clos_walk_route(
+                                topology, src_router, dst_terminal, plan
+                            )
+                        ),
+                    )

@@ -1,0 +1,135 @@
+"""Fault model for compiled-table routing (link and router removals).
+
+Deployed machines route around broken cables and routers by
+*reprogramming forwarding tables*, not by changing the routing code --
+the controller workflow of the InfiniBand dragonfly literature.  This
+module gives faults a first-class representation that the table
+compiler (:mod:`repro.routing.tables`) consumes: a
+:class:`FaultSet` names dead bidirectional cables (by their endpoint
+router pair) and dead routers (which kill every attached cable and
+terminal).
+
+Faults are purely topological: the healthy :class:`Fabric` is left
+untouched, and a fault set is interpreted as a filter over its channels.
+That keeps one topology object shared between the healthy and every
+degraded table set, and makes "which routes survive" a property the
+static verifier (:mod:`repro.check.tables`) can decide without
+rebuilding anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Tuple
+
+from ..core.params import TopologyError
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """One dead bidirectional cable, named by its endpoint routers.
+
+    Both directed channels of the cable die.  For multi-cable router
+    pairs (non-maximal dragonflies can wire several global cables
+    between one router pair) the fault kills *all* cables between the
+    two routers -- the conservative reading of "this pair of line cards
+    cannot talk".
+    """
+
+    router_a: int
+    router_b: int
+
+    def normalized(self) -> "LinkFault":
+        if self.router_a <= self.router_b:
+            return self
+        return LinkFault(self.router_b, self.router_a)
+
+
+@dataclass(frozen=True)
+class RouterFault:
+    """A dead router: every attached cable and terminal is lost."""
+
+    router: int
+
+
+@dataclass(frozen=True)
+class FaultSet:
+    """A set of link and router faults, queryable by the compiler.
+
+    Construct via :meth:`of` so link faults are normalised (unordered
+    endpoint pairs) and duplicates collapse.
+    """
+
+    links: FrozenSet[LinkFault] = field(default_factory=frozenset)
+    routers: FrozenSet[RouterFault] = field(default_factory=frozenset)
+
+    @classmethod
+    def of(
+        cls,
+        links: Iterable[Tuple[int, int]] = (),
+        routers: Iterable[int] = (),
+    ) -> "FaultSet":
+        return cls(
+            links=frozenset(LinkFault(a, b).normalized() for a, b in links),
+            routers=frozenset(RouterFault(r) for r in routers),
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self.links) or bool(self.routers)
+
+    def router_dead(self, router: int) -> bool:
+        return RouterFault(router) in self.routers
+
+    def link_dead(self, router_a: int, router_b: int) -> bool:
+        """True when no cable between the two routers survives."""
+        if self.router_dead(router_a) or self.router_dead(router_b):
+            return True
+        return LinkFault(router_a, router_b).normalized() in self.links
+
+    def dead_terminals(self, topology) -> List[int]:
+        """Terminals attached to dead routers (unreachable by any table)."""
+        return [
+            t for t in range(topology.num_terminals)
+            if self.router_dead(topology.terminal_router(t))
+        ]
+
+    def describe(self) -> str:
+        parts = [
+            f"link {fault.router_a}<->{fault.router_b}"
+            for fault in sorted(self.links, key=lambda f: (f.router_a, f.router_b))
+        ]
+        parts += [
+            f"router {fault.router}"
+            for fault in sorted(self.routers, key=lambda f: f.router)
+        ]
+        return ", ".join(parts) if parts else "no faults"
+
+    def validate(self, topology) -> None:
+        """Check every named fault exists in the fabric; raises otherwise.
+
+        A fault set naming a cable that was never wired would silently
+        degrade nothing -- almost certainly a typo in an experiment.
+        """
+        fabric = topology.fabric
+        num_routers = fabric.num_routers
+        for fault in self.routers:
+            if not (0 <= fault.router < num_routers):
+                raise TopologyError(
+                    f"router fault {fault.router} out of range "
+                    f"[0, {num_routers})"
+                )
+        wired = set()
+        for forward, _ in fabric.bidirectional_links():
+            pair = (forward.src.router, forward.dst.router)
+            wired.add((min(pair), max(pair)))
+        for fault in self.links:
+            pair = (fault.router_a, fault.router_b)
+            if (min(pair), max(pair)) not in wired:
+                raise TopologyError(
+                    f"link fault {fault.router_a}<->{fault.router_b} names "
+                    "a cable that does not exist in the fabric"
+                )
+
+
+#: The empty fault set (healthy fabric); shared default.
+NO_FAULTS = FaultSet()

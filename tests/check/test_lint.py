@@ -191,3 +191,75 @@ class TestShippedSourcesAreClean:
 
     def test_default_root_is_the_repro_package(self):
         assert default_lint_root().name == "repro"
+
+
+class TestScriptMode:
+    """benchmarks/ and examples/ are linted in script mode (REP003)."""
+
+    def lint_script(self, tmp_path, source, name="script.py"):
+        path = tmp_path / name
+        path.write_text(textwrap.dedent(source))
+        return lint_tree(tmp_path, script_mode=True)
+
+    def test_module_level_print_outside_guard_is_flagged(self, tmp_path):
+        findings = self.lint_script(tmp_path, """
+            print("runs on import")
+        """)
+        rep003 = iter_findings_by_rule(findings, "REP003")
+        assert len(rep003) == 1
+        assert "__main__" in rep003[0].message
+
+    def test_print_inside_main_guard_is_exempt(self, tmp_path):
+        findings = self.lint_script(tmp_path, """
+            if __name__ == "__main__":
+                print("fine: script output")
+        """)
+        assert iter_findings_by_rule(findings, "REP003") == []
+
+    def test_print_inside_function_is_exempt(self, tmp_path):
+        findings = self.lint_script(tmp_path, """
+            def main():
+                print("fine: called from the guard")
+        """)
+        assert iter_findings_by_rule(findings, "REP003") == []
+
+    def test_print_in_guard_else_branch_is_flagged(self, tmp_path):
+        findings = self.lint_script(tmp_path, """
+            if __name__ == "__main__":
+                pass
+            else:
+                print("still runs on import")
+        """)
+        assert len(iter_findings_by_rule(findings, "REP003")) == 1
+
+    def test_reversed_guard_comparison_is_recognised(self, tmp_path):
+        findings = self.lint_script(tmp_path, """
+            if "__main__" == __name__:
+                print("fine")
+        """)
+        assert iter_findings_by_rule(findings, "REP003") == []
+
+    def test_unseeded_random_still_flagged_in_scripts(self, tmp_path):
+        findings = self.lint_script(tmp_path, """
+            import random
+
+            def pick(items):
+                return random.choice(items)
+        """)
+        assert len(iter_findings_by_rule(findings, "REP001")) == 1
+
+    def test_asserts_allowed_in_scripts(self, tmp_path):
+        findings = self.lint_script(
+            tmp_path, "assert 1 + 1 == 2\n", name="network_demo.py"
+        )
+        assert iter_findings_by_rule(findings, "REP005") == []
+
+
+class TestScriptTreesAreClean:
+    def test_benchmarks_and_examples_have_no_findings(self):
+        from repro.check.lint import default_script_roots
+
+        roots = default_script_roots()
+        assert roots, "expected a repo checkout with benchmarks/ + examples/"
+        findings = lint_sources()
+        assert findings == [], [f.format() for f in findings]

@@ -1,0 +1,105 @@
+"""Rendering contracts of :mod:`repro.check.report`.
+
+The CLI's output is consumed both by humans and by CI log scrapers, so
+the exact rendering -- status line, severity counts, which findings are
+shown at which verbosity, multi-line counterexample preservation -- is
+pinned here.
+"""
+
+from repro.check.report import (
+    CheckReport,
+    Finding,
+    Severity,
+    combined_exit_code,
+)
+
+
+class TestFindingFormat:
+    def test_single_line(self):
+        finding = Finding("TBL001", Severity.ERROR, "dragonfly/MIN", "cyclic")
+        assert finding.format() == "dragonfly/MIN: error TBL001: cyclic"
+
+    def test_severity_labels(self):
+        assert Severity.INFO.label() == "info"
+        assert Severity.WARNING.label() == "warning"
+        assert Severity.ERROR.label() == "error"
+
+    def test_multiline_counterexample_message_is_preserved(self):
+        # Cycle counterexamples (CDG001/TBL001) carry a multi-line
+        # rendering in the message; format() must not collapse it.
+        cycle = "counterexample cycle:\n  buffer A\n  buffer B"
+        finding = Finding("TBL001", Severity.ERROR, "cfg", cycle)
+        formatted = finding.format()
+        assert "buffer A" in formatted
+        assert formatted.count("\n") == 2
+
+
+class TestCheckReportFormat:
+    def make_report(self):
+        report = CheckReport("tables")
+        report.note("certified 11 configurations")
+        report.add("TBL002", Severity.ERROR, "cfg-a", "unreachable pair")
+        report.add("TBL006", Severity.INFO, "cfg-b", "expected counterexample")
+        report.add("TBL003", Severity.WARNING, "cfg-c", "grammar mismatch")
+        return report
+
+    def test_empty_report_is_ok_with_zero_counts(self):
+        report = CheckReport("tables")
+        assert report.ok
+        assert report.errors == []
+        text = report.format()
+        assert text == "[tables] ok (0 errors, 0 warnings, 0 infos)"
+
+    def test_failed_status_and_counts(self):
+        text = self.make_report().format()
+        assert text.splitlines()[0] == (
+            "[tables] FAILED (1 error, 1 warning, 1 info)"
+        )
+
+    def test_count_pluralisation(self):
+        report = CheckReport("p")
+        for location in ("a", "b"):
+            report.add("X001", Severity.ERROR, location, "boom")
+        assert "2 errors" in report.format()
+
+    def test_non_verbose_hides_info_and_notes(self):
+        text = self.make_report().format(verbose=False)
+        assert "expected counterexample" not in text
+        assert "certified 11 configurations" not in text
+        assert "unreachable pair" in text
+        assert "grammar mismatch" in text
+
+    def test_verbose_shows_notes_then_all_findings_in_order(self):
+        lines = self.make_report().format(verbose=True).splitlines()
+        assert lines[1] == "  certified 11 configurations"
+        codes = [line.split(":")[1].strip() for line in lines[2:]]
+        assert codes == ["error TBL002", "info TBL006", "warning TBL003"]
+
+    def test_extend_and_ok_reflect_error_findings_only(self):
+        report = CheckReport("p")
+        report.extend([
+            Finding("X001", Severity.INFO, "a", "fyi"),
+            Finding("X002", Severity.WARNING, "b", "hmm"),
+        ])
+        assert report.ok
+        report.extend([Finding("X003", Severity.ERROR, "c", "bad")])
+        assert not report.ok
+        assert [f.code for f in report.errors] == ["X003"]
+
+
+class TestCombinedExitCode:
+    def test_all_green(self):
+        assert combined_exit_code([CheckReport("a"), CheckReport("b")]) == 0
+
+    def test_any_error_fails(self):
+        bad = CheckReport("b")
+        bad.add("X001", Severity.ERROR, "cfg", "boom")
+        assert combined_exit_code([CheckReport("a"), bad]) == 1
+
+    def test_warnings_do_not_fail_the_gate(self):
+        warn = CheckReport("w")
+        warn.add("X001", Severity.WARNING, "cfg", "advisory")
+        assert combined_exit_code([warn]) == 0
+
+    def test_empty_report_list_is_green(self):
+        assert combined_exit_code([]) == 0

@@ -1,0 +1,84 @@
+"""Environment-variable parsing contracts for the sweep/sanitizer knobs.
+
+Each ``REPRO_*`` variable must either parse to a sane value or fail
+loudly with a :class:`ValueError` that names the offending variable --
+a typo'd setting silently degrading to a default has bitten real
+sweeps.
+"""
+
+import os
+
+import pytest
+
+from repro.check.sanitizer import DEFAULT_STRIDE, ENV_STRIDE, stride_from_env
+from repro.network.cache import CACHE_ENV_VAR, SweepCache
+from repro.network.parallel import WORKERS_ENV_VAR, SweepExecutor
+
+
+class TestSanitizeStride:
+    def test_unset_uses_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_STRIDE, raising=False)
+        assert stride_from_env() == DEFAULT_STRIDE
+
+    def test_valid_value(self, monkeypatch):
+        monkeypatch.setenv(ENV_STRIDE, "17")
+        assert stride_from_env() == 17
+
+    @pytest.mark.parametrize("raw", ["0", "-3", "garbage", "1.5", ""])
+    def test_bad_values_raise_naming_variable(self, monkeypatch, raw):
+        if raw == "":
+            # Empty means unset, not an error.
+            monkeypatch.setenv(ENV_STRIDE, raw)
+            assert stride_from_env() == DEFAULT_STRIDE
+            return
+        monkeypatch.setenv(ENV_STRIDE, raw)
+        with pytest.raises(ValueError, match=ENV_STRIDE):
+            stride_from_env()
+
+
+class TestSweepWorkers:
+    def test_unset_defaults_to_one(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV_VAR, raising=False)
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        assert SweepExecutor.from_env().workers == 1
+
+    @pytest.mark.parametrize("raw", ["0", "auto", "AUTO"])
+    def test_auto_means_cpu_count(self, monkeypatch, raw):
+        monkeypatch.setenv(WORKERS_ENV_VAR, raw)
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        assert SweepExecutor.from_env().workers == (os.cpu_count() or 1)
+
+    def test_explicit_value(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "3")
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        assert SweepExecutor.from_env().workers == 3
+
+    @pytest.mark.parametrize("raw", ["-1", "-8", "two", "1.5", "none"])
+    def test_bad_values_raise_naming_variable(self, monkeypatch, raw):
+        monkeypatch.setenv(WORKERS_ENV_VAR, raw)
+        with pytest.raises(ValueError, match=WORKERS_ENV_VAR):
+            SweepExecutor.from_env()
+
+
+class TestSweepCache:
+    def test_unset_disables_cache(self, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV_VAR, raising=False)
+        assert SweepCache.from_env() is None
+
+    def test_blank_disables_cache(self, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV_VAR, "   ")
+        assert SweepCache.from_env() is None
+
+    def test_directory_accepted(self, monkeypatch, tmp_path):
+        target = tmp_path / "cache"
+        monkeypatch.setenv(CACHE_ENV_VAR, str(target))
+        cache = SweepCache.from_env()
+        assert cache is not None
+        assert cache.directory == target
+
+    def test_existing_file_rejected_naming_variable(self, monkeypatch, tmp_path):
+        bogus = tmp_path / "not-a-dir"
+        bogus.write_text("x")
+        monkeypatch.setenv(CACHE_ENV_VAR, str(bogus))
+        with pytest.raises(ValueError, match=CACHE_ENV_VAR):
+            SweepCache.from_env()

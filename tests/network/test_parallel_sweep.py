@@ -184,9 +184,12 @@ class TestFromEnv:
         monkeypatch.setenv("REPRO_SWEEP_WORKERS", "auto")
         assert SweepExecutor.from_env().workers == (os.cpu_count() or 1)
 
-    def test_garbage_falls_back_to_serial(self, monkeypatch):
+    def test_garbage_is_rejected_naming_the_variable(self, monkeypatch):
+        # A typo'd setting must fail loudly, not silently run serial
+        # (see tests/network/test_env_config.py for the full contract).
         monkeypatch.setenv("REPRO_SWEEP_WORKERS", "many")
-        assert SweepExecutor.from_env().workers == 1
+        with pytest.raises(ValueError, match="REPRO_SWEEP_WORKERS"):
+            SweepExecutor.from_env()
 
 
 class TestPointSpec:
