@@ -16,6 +16,7 @@ import time
 from typing import List, Optional
 
 from . import all_experiment_ids, get_experiment
+from .base import shared_experiment_executor
 
 
 def _list_experiments() -> str:
@@ -64,9 +65,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             exit_code = 2
             continue
         started = time.perf_counter()
-        result = experiment.run(quick=not args.full)
+        with shared_experiment_executor() as executor:
+            result = experiment.run(quick=not args.full)
         elapsed = time.perf_counter() - started
         print(result.format_table())
+        answered = executor.stats["cached"] + executor.stats["simulated"]
+        if answered:
+            print(f"   sweep: {executor.summary_line()}")
         print(f"   ({elapsed:.1f} s)")
         print()
     return exit_code

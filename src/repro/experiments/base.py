@@ -12,8 +12,9 @@ size networks follow the same trend").
 from __future__ import annotations
 
 import abc
+import contextlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from ..core.params import DragonflyParams
 from ..network.config import SimulationConfig
@@ -142,16 +143,58 @@ def experiment_config(
     )
 
 
+#: Executor shared across one CLI invocation (see
+#: :func:`shared_experiment_executor`); ``None`` outside the context.
+_SHARED_EXECUTOR: Optional[SweepExecutor] = None
+
+
+def _executor_from_env() -> SweepExecutor:
+    # Imported lazily: the service layer depends on repro.network and on
+    # this module's config/topology helpers.
+    from ..service.client import executor_from_env
+
+    service = executor_from_env()
+    if service is not None:
+        return service
+    return SweepExecutor.from_env()
+
+
 def experiment_executor() -> SweepExecutor:
     """The sweep executor the experiment runners use.
 
     Configured entirely from the environment so figure scripts and
-    benchmarks gain parallelism (``REPRO_SWEEP_WORKERS``) and on-disk
-    result caching (``REPRO_SWEEP_CACHE``) without code changes; the
-    default is serial and uncached, matching the historical behaviour
-    point for point.
+    benchmarks gain parallelism (``REPRO_SWEEP_WORKERS``), on-disk
+    result caching (``REPRO_SWEEP_CACHE``), or the full sweep service
+    (``REPRO_SWEEP_SERVICE``: journaled, resumable, store-backed sweeps
+    -- :class:`repro.service.client.ServiceExecutor`) without code
+    changes; the default is serial and uncached, matching the
+    historical behaviour point for point.
+
+    Inside a :func:`shared_experiment_executor` context every call
+    returns the same instance, so a whole figure run accumulates one
+    set of cache/simulation counters for the summary line.
     """
-    return SweepExecutor.from_env()
+    if _SHARED_EXECUTOR is not None:
+        return _SHARED_EXECUTOR
+    return _executor_from_env()
+
+
+@contextlib.contextmanager
+def shared_experiment_executor() -> Iterator[SweepExecutor]:
+    """Scope within which :func:`experiment_executor` is a singleton.
+
+    The CLI wraps each experiment run in this context and reports
+    ``executor.summary_line()`` -- points cached vs simulated, cache
+    hit/miss/invalidation counters, and any serial-fallback diagnostic
+    -- after the figure's table.
+    """
+    global _SHARED_EXECUTOR
+    executor = _executor_from_env()
+    _SHARED_EXECUTOR = executor
+    try:
+        yield executor
+    finally:
+        _SHARED_EXECUTOR = None
 
 
 def uniform_loads(quick: bool = True) -> Sequence[float]:

@@ -97,6 +97,21 @@ class SweepCache:
         self.directory = Path(directory)
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
+
+    def counters(self) -> Dict[str, int]:
+        """Hit/miss/invalidation counts since this instance was created.
+
+        Invalidations count stale entries dropped by :meth:`get` (schema
+        bump, key mismatch, unparseable result); every invalidation is
+        also a miss.  Sweep summaries and the service progress line
+        report these so a cold or churning cache is visible.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+        }
 
     def _entry_path(self, key: Dict[str, object]) -> Path:
         return self.directory / f"{key_digest(key)}.json"
@@ -119,11 +134,17 @@ class SweepCache:
                 path.unlink()
             except OSError:
                 pass
+            self.invalidations += 1
             self.misses += 1
             return None
         try:
             result = SimulationResult.from_dict(entry["result"])
         except (KeyError, TypeError, ValueError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.invalidations += 1
             self.misses += 1
             return None
         self.hits += 1

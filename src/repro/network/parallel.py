@@ -29,6 +29,7 @@ benchmarks pick up parallelism and caching without code changes.
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
@@ -42,6 +43,34 @@ from .stats import SimulationResult
 
 #: Environment variable selecting the default worker count (default 1).
 WORKERS_ENV_VAR = "REPRO_SWEEP_WORKERS"
+
+_LOGGER = logging.getLogger(__name__)
+
+
+def workers_from_env() -> int:
+    """Worker count from ``REPRO_SWEEP_WORKERS``.
+
+    ``1`` (the default) is serial; ``0`` or ``auto`` means the CPU
+    count.  Anything else must be a positive integer -- garbage raises
+    :class:`ValueError` naming the variable instead of silently
+    degrading to a default.
+    """
+    raw = os.environ.get(WORKERS_ENV_VAR, "1").strip().lower()
+    if raw in ("0", "auto"):
+        return os.cpu_count() or 1
+    try:
+        workers = int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"{WORKERS_ENV_VAR} must be a positive integer, "
+            f"'0', or 'auto', got {raw!r}"
+        ) from exc
+    if workers < 1:
+        raise ValueError(
+            f"{WORKERS_ENV_VAR} must be >= 1 (or '0'/'auto' for "
+            f"the CPU count), got {workers}"
+        )
+    return workers
 
 #: 64-bit splitmix constants for :func:`derive_seed`.
 _SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
@@ -109,6 +138,11 @@ class SweepExecutor:
     stats: Dict[str, int] = field(
         default_factory=lambda: {"cached": 0, "simulated": 0, "fallbacks": 0}
     )
+    #: Why the last fall-back to serial execution happened (the
+    #: underlying pickling or pool error), ``None`` when it never did.
+    #: Logged when it happens and surfaced by the sweep service's
+    #: ``status`` verb so a misconfigured sweep is diagnosable.
+    last_fallback_error: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -118,23 +152,7 @@ class SweepExecutor:
     def from_env(cls) -> "SweepExecutor":
         """Executor configured from ``REPRO_SWEEP_WORKERS`` (default 1,
         ``0``/``auto`` = CPU count) and ``REPRO_SWEEP_CACHE``."""
-        raw = os.environ.get(WORKERS_ENV_VAR, "1").strip().lower()
-        if raw in ("0", "auto"):
-            workers = os.cpu_count() or 1
-        else:
-            try:
-                workers = int(raw)
-            except ValueError as exc:
-                raise ValueError(
-                    f"{WORKERS_ENV_VAR} must be a positive integer, "
-                    f"'0', or 'auto', got {raw!r}"
-                ) from exc
-            if workers < 1:
-                raise ValueError(
-                    f"{WORKERS_ENV_VAR} must be >= 1 (or '0'/'auto' for "
-                    f"the CPU count), got {workers}"
-                )
-        return cls(workers=workers, cache=SweepCache.from_env())
+        return cls(workers=workers_from_env(), cache=SweepCache.from_env())
 
     # ------------------------------------------------------------------
     # Execution
@@ -190,8 +208,8 @@ class SweepExecutor:
         if self.workers > 1 and len(specs) > 1 and self._picklable(topology, specs):
             try:
                 return self._execute_pool(topology, specs)
-            except (BrokenProcessPool, OSError):
-                self.stats["fallbacks"] += 1
+            except (BrokenProcessPool, OSError) as exc:
+                self._note_fallback(exc, "process pool failed")
         return [_run_spec(topology, spec) for spec in specs]
 
     def _execute_pool(
@@ -204,10 +222,48 @@ class SweepExecutor:
 
     def _picklable(self, topology, specs: Sequence[PointSpec]) -> bool:
         """Pre-flight check so unpicklable inputs degrade to serial
-        execution instead of a half-submitted pool."""
+        execution instead of a half-submitted pool.
+
+        The underlying pickling error is logged (and kept in
+        :attr:`last_fallback_error`), not swallowed: a sweep silently
+        running serial because a topology grew an unpicklable member is
+        otherwise near-impossible to diagnose.
+        """
         try:
             pickle.dumps((topology, list(specs)))
             return True
-        except Exception:
-            self.stats["fallbacks"] += 1
+        except Exception as exc:
+            self._note_fallback(exc, "pre-flight pickle check failed")
             return False
+
+    def _note_fallback(self, exc: BaseException, why: str) -> None:
+        self.stats["fallbacks"] += 1
+        self.last_fallback_error = f"{why}: {type(exc).__name__}: {exc}"
+        _LOGGER.warning(
+            "sweep executor falling back to serial execution (%s)",
+            self.last_fallback_error,
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def summary_line(self) -> str:
+        """One-line account of how the sweep's points were satisfied."""
+        answered = self.stats["cached"] + self.stats["simulated"]
+        hit_rate = self.stats["cached"] / answered if answered else 0.0
+        parts = [
+            f"{answered} points: {self.stats['cached']} cached + "
+            f"{self.stats['simulated']} simulated "
+            f"({100.0 * hit_rate:.1f}% hit rate)"
+        ]
+        if self.cache is not None:
+            counters = self.cache.counters()
+            parts.append(
+                f"cache {counters['hits']} hits / {counters['misses']} misses"
+                f" / {counters['invalidations']} invalidated"
+            )
+        if self.stats["fallbacks"]:
+            parts.append(f"{self.stats['fallbacks']} serial fallbacks")
+        if self.last_fallback_error is not None:
+            parts.append(f"last fallback: {self.last_fallback_error}")
+        return "; ".join(parts)

@@ -1,0 +1,271 @@
+"""``python -m repro.serve`` -- submit / status / query / gc.
+
+Usage::
+
+    python -m repro.serve --root DIR submit fig09
+    python -m repro.serve --root DIR submit fig09 --loads 0.05,0.1 --workers 4
+    python -m repro.serve --root DIR submit --manifest sweep.json --json
+    python -m repro.serve --root DIR status
+    python -m repro.serve --root DIR query --figure fig09 --routing UGAL-G
+    python -m repro.serve --root DIR gc
+
+``--root`` defaults to ``$REPRO_SWEEP_SERVICE``.  ``submit`` exits 0
+when every unit completed, 1 when any unit failed permanently.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..service.client import service_root_from_env
+from ..service.manifest import SweepManifest, manifests_for_figure
+from ..service.scheduler import (
+    JobProgress,
+    SchedulerOptions,
+    run_manifest,
+)
+from ..service.status import (
+    job_statuses,
+    render_query_rows,
+    render_statuses,
+    store_summary,
+)
+from ..service.store import ResultStore
+
+
+def _resolve_root(raw: Optional[str]) -> Path:
+    if raw:
+        root = Path(raw)
+        if root.exists() and not root.is_dir():
+            raise SystemExit(
+                f"error: service root {raw!r} exists and is not a directory"
+            )
+        return root
+    root = service_root_from_env()
+    if root is None:
+        raise SystemExit(
+            "error: no service root; pass --root DIR or set REPRO_SWEEP_SERVICE"
+        )
+    return root
+
+
+def _parse_loads(raw: Optional[str]) -> Optional[List[float]]:
+    if raw is None:
+        return None
+    try:
+        loads = [float(part) for part in raw.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(f"error: --loads must be comma-separated floats, got {raw!r}")
+    if not loads:
+        raise SystemExit("error: --loads must name at least one load")
+    return loads
+
+
+def _manifests(args: argparse.Namespace) -> List[SweepManifest]:
+    loads = _parse_loads(args.loads)
+    if args.manifest:
+        try:
+            data = json.loads(Path(args.manifest).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise SystemExit(f"error: cannot read manifest {args.manifest}: {error}")
+        try:
+            manifest = SweepManifest.from_dict(data)
+        except (KeyError, TypeError, ValueError) as error:
+            raise SystemExit(f"error: bad manifest {args.manifest}: {error}")
+        if loads is not None:
+            import dataclasses
+
+            manifest = dataclasses.replace(manifest, loads=tuple(loads))
+        return [manifest]
+    if not args.figure:
+        raise SystemExit("error: submit needs a FIGURE id or --manifest FILE")
+    try:
+        return manifests_for_figure(args.figure, quick=not args.full, loads=loads)
+    except KeyError as error:
+        raise SystemExit(f"error: {error.args[0]}")
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    root = _resolve_root(args.root)
+    options = SchedulerOptions.from_env()
+    if args.workers is not None:
+        import dataclasses
+
+        options = dataclasses.replace(options, workers=args.workers)
+    manifests = _manifests(args)
+    live = args.progress and sys.stderr.isatty() and not args.json
+    summaries = []
+    exit_code = 0
+    for manifest in manifests:
+        if not args.json:
+            print(
+                f"submit {manifest.job_id}: {manifest.num_units()} units "
+                f"({len(manifest.routings)} routings x "
+                f"{len(manifest.patterns)} patterns x "
+                f"{len(manifest.loads)} loads x {len(manifest.seeds)} seeds), "
+                f"{options.workers} workers"
+            )
+
+        def show(progress: JobProgress) -> None:
+            if live:
+                print(
+                    f"\r  {progress.line(options.workers)}",
+                    end="",
+                    file=sys.stderr,
+                    flush=True,
+                )
+
+        report = run_manifest(root, manifest, options, on_progress=show)
+        if live:
+            print(file=sys.stderr)
+        summary = {
+            "job": report.job_id,
+            "figure": report.figure,
+            **report.progress.to_dict(),
+            "failed_units": report.failed,
+            "fallback_error": report.fallback_error,
+        }
+        summaries.append(summary)
+        if report.failed:
+            exit_code = 1
+        if not args.json:
+            print(f"  {report.progress.line(options.workers)}")
+            if report.fallback_error:
+                print(f"  fallback: {report.fallback_error}")
+            for index, error in sorted(report.failed.items()):
+                print(f"  FAILED unit {index}: {error}")
+    if args.json:
+        total = {
+            "jobs": summaries,
+            "simulated": sum(s["simulated"] for s in summaries),
+            "cached": sum(s["cached"] for s in summaries),
+            "failed": sum(s["failed"] for s in summaries),
+        }
+        print(json.dumps(total, indent=2, sort_keys=True))
+    return exit_code
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    root = _resolve_root(args.root)
+    statuses = job_statuses(root)
+    summary = store_summary(root)
+    if args.json:
+        print(json.dumps(
+            {
+                "jobs": [status.to_dict() for status in statuses],
+                "store": summary,
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
+    print(render_statuses(statuses))
+    figures = ", ".join(
+        f"{figure}: {count}" for figure, count in summary["figures"].items()  # type: ignore[union-attr]
+    )
+    print(f"store: {summary['points']} points ({figures or 'empty'})")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    root = _resolve_root(args.root)
+    store = ResultStore(root / "store")
+    points = store.query(
+        figure=args.figure,
+        routing=args.routing,
+        pattern=args.pattern,
+        load=args.load,
+        min_load=args.min_load,
+        max_load=args.max_load,
+        seed=args.seed,
+        digest=args.digest,
+    )
+    if args.json:
+        print(json.dumps([point.to_row() for point in points], indent=2))
+        return 0
+    print(render_query_rows(points))
+    return 0
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    root = _resolve_root(args.root)
+    store = ResultStore(root / "store")
+    counts = store.gc()
+    if args.json:
+        print(json.dumps(counts, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"gc: {counts['indexed']} points indexed, "
+        f"{counts['recovered']} recovered, {counts['dropped']} index entries "
+        f"dropped, {counts['corrupt']} corrupt records skipped, "
+        f"{counts['tmp_removed']} temp files removed"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Sweep service: submit sweeps, query the result store.",
+    )
+    parser.add_argument(
+        "--root",
+        help="service root directory (default: $REPRO_SWEEP_SERVICE)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    submit = commands.add_parser(
+        "submit", help="run a sweep (figure preset or --manifest file)"
+    )
+    submit.add_argument("figure", nargs="?", help="figure id, e.g. fig09")
+    submit.add_argument("--manifest", help="explicit manifest JSON file")
+    submit.add_argument(
+        "--loads", help="override load list, comma-separated (e.g. 0.05,0.1)"
+    )
+    submit.add_argument(
+        "--workers", type=int, help="worker processes (default: env)"
+    )
+    submit.add_argument(
+        "--full", action="store_true", help="paper-scale topology (slow)"
+    )
+    submit.add_argument(
+        "--json", action="store_true", help="machine-readable summary"
+    )
+    submit.add_argument(
+        "--no-progress",
+        dest="progress",
+        action="store_false",
+        help="disable the live progress line",
+    )
+    submit.set_defaults(func=_cmd_submit)
+
+    status = commands.add_parser("status", help="narrate submitted jobs")
+    status.add_argument("--json", action="store_true")
+    status.set_defaults(func=_cmd_status)
+
+    query = commands.add_parser("query", help="filter the result store")
+    query.add_argument("--figure")
+    query.add_argument("--routing")
+    query.add_argument("--pattern")
+    query.add_argument("--load", type=float)
+    query.add_argument("--min-load", type=float)
+    query.add_argument("--max-load", type=float)
+    query.add_argument("--seed", type=int)
+    query.add_argument("--digest", help="digest prefix")
+    query.add_argument("--json", action="store_true")
+    query.set_defaults(func=_cmd_query)
+
+    gc = commands.add_parser("gc", help="rebuild the index, drop litter")
+    gc.add_argument("--json", action="store_true")
+    gc.set_defaults(func=_cmd_gc)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,143 @@
+"""Library client: the sweep service as a drop-in ``SweepExecutor``.
+
+:class:`ServiceExecutor` keeps the :class:`~repro.network.parallel.SweepExecutor`
+interface (``run_point``/``run_points``/``stats``) but routes execution
+through the service scheduler and result store, which buys every
+caller -- ``load_sweep``, ``saturation_load``, ``replicate``, the
+``repro.experiments`` figure runners, the benchmarks -- journaled,
+resumable, store-backed sweeps with no code changes.
+
+Setting ``REPRO_SWEEP_SERVICE`` to a service root directory makes
+:func:`repro.experiments.base.experiment_executor` return one of these,
+so ``python -m repro.experiments fig09`` transparently becomes a
+service client: previously computed figure data is served from the
+store with zero ``run_point`` calls, fresh points are journaled as they
+land, and a killed run resumes where it stopped.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..network.cache import key_digest, point_key
+from ..network.parallel import PointSpec, SweepExecutor
+from ..network.stats import SimulationResult
+from .manifest import WorkUnit
+from .scheduler import JobProgress, SchedulerOptions, SweepScheduler
+from .store import ResultStore
+
+#: Environment variable naming the service root directory; when set,
+#: :func:`repro.experiments.base.experiment_executor` returns a
+#: :class:`ServiceExecutor` rooted there.
+SERVICE_ENV_VAR = "REPRO_SWEEP_SERVICE"
+
+
+def service_root_from_env() -> Optional[Path]:
+    """The service root from ``REPRO_SWEEP_SERVICE``, or ``None``.
+
+    Raises :class:`ValueError` naming the variable when it points at an
+    existing path that is not a directory -- a service rooted at a
+    regular file could never store anything.
+    """
+    raw = os.environ.get(SERVICE_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    path = Path(raw)
+    if path.exists() and not path.is_dir():
+        raise ValueError(
+            f"{SERVICE_ENV_VAR} must name a directory (created on "
+            f"demand), but {raw!r} exists and is not one"
+        )
+    return path
+
+
+def executor_from_env() -> Optional["ServiceExecutor"]:
+    """A :class:`ServiceExecutor` when ``REPRO_SWEEP_SERVICE`` is set.
+
+    Worker count and fault-tolerance knobs come from the same
+    environment family the CLI uses (``REPRO_SWEEP_WORKERS``,
+    ``REPRO_SWEEP_SERVICE_TIMEOUT``, ``REPRO_SWEEP_SERVICE_RETRIES``,
+    ``REPRO_SWEEP_SERVICE_HEARTBEAT``).
+    """
+    root = service_root_from_env()
+    if root is None:
+        return None
+    return ServiceExecutor(root, options=SchedulerOptions.from_env())
+
+
+class ServiceExecutor(SweepExecutor):
+    """A ``SweepExecutor`` whose backend is the sweep service."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        options: Optional[SchedulerOptions] = None,
+        figure: str = "adhoc",
+        on_progress: Optional[Callable[[JobProgress], None]] = None,
+    ) -> None:
+        self.root = Path(root)
+        self.options = options or SchedulerOptions()
+        self.figure = figure
+        self.on_progress = on_progress
+        self.store = ResultStore(self.root / "store")
+        # The store's point records double as the executor's cache, so
+        # cache counters (hits/misses/invalidations) keep reporting.
+        super().__init__(workers=self.options.workers, cache=self.store.cache)
+
+    def run_points(
+        self, topology, specs: Sequence[PointSpec]
+    ) -> List[SimulationResult]:
+        """Answer a batch through the store + journaled scheduler.
+
+        Each batch becomes one ad-hoc job (its identity is the digest of
+        its unit digests) under ``<root>/jobs/``, so interrupted figure
+        runs resume and ``status`` can narrate them like any submitted
+        manifest.
+        """
+        units: List[WorkUnit] = []
+        for index, spec in enumerate(specs):
+            key = point_key(
+                topology, spec.routing_name, spec.pattern_name, spec.config
+            )
+            units.append(
+                WorkUnit(
+                    index=index, digest=key_digest(key), key=key, spec=spec
+                )
+            )
+        batch_digest = key_digest({"units": [unit.digest for unit in units]})
+        job_dir = self.root / "jobs" / f"{self.figure}-{batch_digest[:16]}"
+        scheduler = SweepScheduler(
+            store=self.store,
+            topology=topology,
+            units=units,
+            job_dir=job_dir,
+            options=self.options,
+            figure=self.figure,
+        )
+        report = scheduler.run(on_progress=self.on_progress)
+        self.stats["cached"] += report.progress.cached
+        self.stats["simulated"] += report.progress.simulated
+        if report.fallback_error is not None:
+            self.stats["fallbacks"] += 1
+            self.last_fallback_error = report.fallback_error
+        return report.ordered_results(len(specs))
+
+    def query(self, **filters) -> List:
+        """Convenience pass-through to :meth:`ResultStore.query`."""
+        return self.store.query(**filters)
+
+    def summary_line(self) -> str:
+        return f"service {self.root}: " + super().summary_line()
+
+
+#: Flat map of every environment knob the service family honours, for
+#: documentation and the ``status`` verb's environment report.
+SERVICE_ENV_KNOBS: Dict[str, str] = {
+    SERVICE_ENV_VAR: "service root directory (enables the service client)",
+    "REPRO_SWEEP_WORKERS": "worker processes (1, N, or 0/'auto')",
+    "REPRO_SWEEP_SERVICE_TIMEOUT": "per-unit timeout in seconds",
+    "REPRO_SWEEP_SERVICE_RETRIES": "max attempts per unit",
+    "REPRO_SWEEP_SERVICE_HEARTBEAT": "worker heartbeat interval in seconds",
+}

@@ -13,6 +13,16 @@ import pytest
 from repro.check.sanitizer import DEFAULT_STRIDE, ENV_STRIDE, stride_from_env
 from repro.network.cache import CACHE_ENV_VAR, SweepCache
 from repro.network.parallel import WORKERS_ENV_VAR, SweepExecutor
+from repro.service.client import SERVICE_ENV_VAR, service_root_from_env
+from repro.service.scheduler import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    DEFAULT_MAX_ATTEMPTS,
+    DEFAULT_UNIT_TIMEOUT,
+    HEARTBEAT_ENV_VAR,
+    RETRIES_ENV_VAR,
+    TIMEOUT_ENV_VAR,
+    SchedulerOptions,
+)
 
 
 class TestSanitizeStride:
@@ -82,3 +92,77 @@ class TestSweepCache:
         monkeypatch.setenv(CACHE_ENV_VAR, str(bogus))
         with pytest.raises(ValueError, match=CACHE_ENV_VAR):
             SweepCache.from_env()
+
+
+class TestSweepServiceRoot:
+    def test_unset_disables_service(self, monkeypatch):
+        monkeypatch.delenv(SERVICE_ENV_VAR, raising=False)
+        assert service_root_from_env() is None
+
+    def test_blank_disables_service(self, monkeypatch):
+        monkeypatch.setenv(SERVICE_ENV_VAR, "   ")
+        assert service_root_from_env() is None
+
+    def test_directory_accepted_even_before_it_exists(
+        self, monkeypatch, tmp_path
+    ):
+        target = tmp_path / "svc"
+        monkeypatch.setenv(SERVICE_ENV_VAR, str(target))
+        assert service_root_from_env() == target
+
+    def test_existing_file_rejected_naming_variable(self, monkeypatch, tmp_path):
+        bogus = tmp_path / "not-a-dir"
+        bogus.write_text("x")
+        monkeypatch.setenv(SERVICE_ENV_VAR, str(bogus))
+        with pytest.raises(ValueError, match=SERVICE_ENV_VAR):
+            service_root_from_env()
+
+
+class TestSchedulerKnobs:
+    def _clear(self, monkeypatch):
+        for name in (
+            WORKERS_ENV_VAR, TIMEOUT_ENV_VAR, RETRIES_ENV_VAR,
+            HEARTBEAT_ENV_VAR,
+        ):
+            monkeypatch.delenv(name, raising=False)
+
+    def test_unset_uses_defaults(self, monkeypatch):
+        self._clear(monkeypatch)
+        options = SchedulerOptions.from_env()
+        assert options.workers == 1
+        assert options.unit_timeout == DEFAULT_UNIT_TIMEOUT
+        assert options.max_attempts == DEFAULT_MAX_ATTEMPTS
+        assert options.heartbeat_interval == DEFAULT_HEARTBEAT_INTERVAL
+
+    def test_valid_values(self, monkeypatch):
+        self._clear(monkeypatch)
+        monkeypatch.setenv(WORKERS_ENV_VAR, "4")
+        monkeypatch.setenv(TIMEOUT_ENV_VAR, "120.5")
+        monkeypatch.setenv(RETRIES_ENV_VAR, "5")
+        monkeypatch.setenv(HEARTBEAT_ENV_VAR, "0.25")
+        options = SchedulerOptions.from_env()
+        assert options.workers == 4
+        assert options.unit_timeout == 120.5
+        assert options.max_attempts == 5
+        assert options.heartbeat_interval == 0.25
+
+    @pytest.mark.parametrize("raw", ["0", "-1", "garbage", "1.5s"])
+    def test_bad_timeout_raises_naming_variable(self, monkeypatch, raw):
+        self._clear(monkeypatch)
+        monkeypatch.setenv(TIMEOUT_ENV_VAR, raw)
+        with pytest.raises(ValueError, match=TIMEOUT_ENV_VAR):
+            SchedulerOptions.from_env()
+
+    @pytest.mark.parametrize("raw", ["0", "-2", "three", "1.5"])
+    def test_bad_retries_raises_naming_variable(self, monkeypatch, raw):
+        self._clear(monkeypatch)
+        monkeypatch.setenv(RETRIES_ENV_VAR, raw)
+        with pytest.raises(ValueError, match=RETRIES_ENV_VAR):
+            SchedulerOptions.from_env()
+
+    @pytest.mark.parametrize("raw", ["0", "-0.5", "beat"])
+    def test_bad_heartbeat_raises_naming_variable(self, monkeypatch, raw):
+        self._clear(monkeypatch)
+        monkeypatch.setenv(HEARTBEAT_ENV_VAR, raw)
+        with pytest.raises(ValueError, match=HEARTBEAT_ENV_VAR):
+            SchedulerOptions.from_env()

@@ -127,6 +127,26 @@ class TestSerialFallback:
         )
         assert point_dicts(points) == point_dicts(reference)
 
+    def test_fallback_is_logged_and_surfaced(self, config, caplog):
+        """The pre-flight pickle failure is never silent: it is logged,
+        kept on the executor, and lands in the summary line."""
+        import logging
+
+        topology = Dragonfly(DragonflyParams.paper_example_72())
+        topology.unpicklable = lambda: None
+        executor = SweepExecutor(workers=2)
+        with caplog.at_level(logging.WARNING, logger="repro.network.parallel"):
+            load_sweep(
+                topology, "MIN", "uniform_random", (0.1, 0.2), config,
+                executor=executor,
+            )
+        assert executor.last_fallback_error is not None
+        assert "pickle" in executor.last_fallback_error
+        assert any("serial" in record.message for record in caplog.records)
+        summary = executor.summary_line()
+        assert "fallback" in summary
+        assert "pickle" in summary
+
     def test_workers_must_be_positive(self):
         with pytest.raises(ValueError):
             SweepExecutor(workers=0)

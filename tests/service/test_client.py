@@ -1,0 +1,152 @@
+"""Service client: the drop-in executor and its env-var activation."""
+
+import pytest
+
+from repro.network.sweep import load_sweep
+from repro.service.client import (
+    SERVICE_ENV_VAR,
+    ServiceExecutor,
+    executor_from_env,
+    service_root_from_env,
+)
+from repro.service.scheduler import SchedulerOptions
+
+
+@pytest.fixture()
+def topology(tiny_spec):
+    return tiny_spec.build()
+
+
+def point_dicts(points):
+    return [(p.load, p.result.to_dict()) for p in points]
+
+
+class TestEnvActivation:
+    def test_unset_means_no_service(self, monkeypatch):
+        monkeypatch.delenv(SERVICE_ENV_VAR, raising=False)
+        assert service_root_from_env() is None
+        assert executor_from_env() is None
+
+    def test_set_returns_service_executor(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(SERVICE_ENV_VAR, str(tmp_path / "svc"))
+        executor = executor_from_env()
+        assert isinstance(executor, ServiceExecutor)
+        assert executor.root == tmp_path / "svc"
+
+    def test_file_root_rejected_naming_the_variable(self, monkeypatch, tmp_path):
+        not_a_dir = tmp_path / "file"
+        not_a_dir.write_text("x")
+        monkeypatch.setenv(SERVICE_ENV_VAR, str(not_a_dir))
+        with pytest.raises(ValueError, match=SERVICE_ENV_VAR):
+            service_root_from_env()
+
+    def test_experiment_executor_becomes_a_service_client(
+        self, monkeypatch, tmp_path
+    ):
+        from repro.experiments.base import experiment_executor
+
+        monkeypatch.delenv(SERVICE_ENV_VAR, raising=False)
+        assert not isinstance(experiment_executor(), ServiceExecutor)
+        monkeypatch.setenv(SERVICE_ENV_VAR, str(tmp_path / "svc"))
+        assert isinstance(experiment_executor(), ServiceExecutor)
+
+
+class TestServiceExecutor:
+    def test_sweep_matches_plain_executor(
+        self, tmp_path, topology, tiny_config
+    ):
+        executor = ServiceExecutor(tmp_path / "svc")
+        points = load_sweep(
+            topology, "MIN", "uniform_random", (0.1, 0.2), tiny_config,
+            executor=executor,
+        )
+        reference = load_sweep(
+            topology, "MIN", "uniform_random", (0.1, 0.2), tiny_config
+        )
+        assert point_dicts(points) == point_dicts(reference)
+        assert executor.stats["simulated"] == 2
+        assert executor.stats["cached"] == 0
+
+    def test_second_run_is_all_cache_hits_zero_simulation(
+        self, tmp_path, topology, tiny_config, monkeypatch
+    ):
+        first = ServiceExecutor(tmp_path / "svc")
+        points = load_sweep(
+            topology, "MIN", "uniform_random", (0.1, 0.2, 0.3), tiny_config,
+            executor=first,
+        )
+
+        import repro.network.sweep as sweep
+
+        def explode(*args, **kwargs):
+            raise AssertionError("second run must not simulate")
+
+        monkeypatch.setattr(sweep, "run_point", explode)
+        second = ServiceExecutor(tmp_path / "svc")
+        again = load_sweep(
+            topology, "MIN", "uniform_random", (0.1, 0.2, 0.3), tiny_config,
+            executor=second,
+        )
+        assert point_dicts(again) == point_dicts(points)
+        assert second.stats == {"cached": 3, "simulated": 0, "fallbacks": 0}
+        assert "100.0% hit rate" in second.summary_line()
+
+    def test_results_land_in_the_queryable_store(
+        self, tmp_path, topology, tiny_config
+    ):
+        executor = ServiceExecutor(tmp_path / "svc", figure="figx")
+        load_sweep(
+            topology, "MIN", "uniform_random", (0.1, 0.2), tiny_config,
+            executor=executor,
+        )
+        rows = executor.query(figure="figx", routing="MIN")
+        assert [row.load for row in rows] == [0.1, 0.2]
+
+    def test_run_point_single(self, tmp_path, topology, tiny_config):
+        executor = ServiceExecutor(tmp_path / "svc")
+        result = executor.run_point(
+            topology, "MIN", "uniform_random", tiny_config
+        )
+        assert result.routing_name == "MIN"
+        assert executor.stats["simulated"] == 1
+
+    def test_batches_journal_as_adhoc_jobs(
+        self, tmp_path, topology, tiny_config
+    ):
+        from repro.service.status import job_statuses
+
+        executor = ServiceExecutor(tmp_path / "svc")
+        load_sweep(
+            topology, "MIN", "uniform_random", (0.1, 0.2), tiny_config,
+            executor=executor,
+        )
+        statuses = job_statuses(tmp_path / "svc")
+        assert len(statuses) == 1
+        assert statuses[0].state == "complete"
+        assert statuses[0].job_id.startswith("adhoc-")
+
+    def test_fallback_error_is_surfaced(self, tmp_path, tiny_config):
+        from repro.core.params import DragonflyParams
+        from repro.topology.dragonfly import Dragonfly
+
+        unpicklable = Dragonfly(DragonflyParams(p=1, a=2, h=1))
+        unpicklable.bad = lambda: None
+        executor = ServiceExecutor(
+            tmp_path / "svc", options=SchedulerOptions(workers=2)
+        )
+        load_sweep(
+            unpicklable, "MIN", "uniform_random", (0.1, 0.2), tiny_config,
+            executor=executor,
+        )
+        assert executor.stats["fallbacks"] == 1
+        assert executor.last_fallback_error is not None
+        assert "pickle" in executor.last_fallback_error
+        assert "fallback" in executor.summary_line()
+
+    def test_summary_line_names_the_root(self, tmp_path, topology, tiny_config):
+        executor = ServiceExecutor(tmp_path / "svc")
+        load_sweep(
+            topology, "MIN", "uniform_random", (0.1,), tiny_config,
+            executor=executor,
+        )
+        assert str(tmp_path / "svc") in executor.summary_line()

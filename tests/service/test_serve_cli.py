@@ -1,0 +1,171 @@
+"""``python -m repro.serve``: submit / status / query / gc verbs."""
+
+import json
+
+import pytest
+
+from repro.serve.__main__ import main
+
+
+@pytest.fixture()
+def manifest_file(tmp_path, tiny_manifest):
+    path = tmp_path / "manifest.json"
+    path.write_text(json.dumps(tiny_manifest.to_dict()), encoding="utf-8")
+    return path
+
+
+@pytest.fixture()
+def root(tmp_path):
+    return tmp_path / "svc"
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+class TestSubmit:
+    def test_submit_manifest_runs_to_completion(
+        self, root, manifest_file, tiny_manifest, capsys
+    ):
+        code = run_cli(
+            "--root", str(root), "submit",
+            "--manifest", str(manifest_file), "--no-progress",
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert tiny_manifest.job_id in out
+        assert "6/6 done" in out
+
+    def test_resubmit_is_pure_cache(
+        self, root, manifest_file, tiny_manifest, capsys, monkeypatch
+    ):
+        assert run_cli(
+            "--root", str(root), "submit",
+            "--manifest", str(manifest_file), "--no-progress",
+        ) == 0
+        capsys.readouterr()
+
+        import repro.network.sweep as sweep
+
+        def explode(*args, **kwargs):
+            raise AssertionError("resubmit must not simulate")
+
+        monkeypatch.setattr(sweep, "run_point", explode)
+        code = run_cli(
+            "--root", str(root), "submit",
+            "--manifest", str(manifest_file), "--no-progress", "--json",
+        )
+        summary = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert summary["simulated"] == 0
+        assert summary["cached"] == tiny_manifest.num_units()
+        assert summary["failed"] == 0
+        (job,) = summary["jobs"]
+        assert job["hit_rate"] == 1.0
+
+    def test_loads_override_shrinks_the_grid(
+        self, root, manifest_file, capsys
+    ):
+        code = run_cli(
+            "--root", str(root), "submit",
+            "--manifest", str(manifest_file),
+            "--loads", "0.1", "--no-progress", "--json",
+        )
+        summary = json.loads(capsys.readouterr().out)
+        assert code == 0
+        (job,) = summary["jobs"]
+        assert job["total"] == 2  # 2 routings x 1 pattern x 1 load x 1 seed
+
+    def test_submit_without_figure_or_manifest_errors(self, root):
+        with pytest.raises(SystemExit, match="FIGURE"):
+            run_cli("--root", str(root), "submit")
+
+    def test_unknown_figure_errors(self, root):
+        with pytest.raises(SystemExit, match="no sweep preset"):
+            run_cli("--root", str(root), "submit", "fig99")
+
+    def test_bad_loads_errors(self, root, manifest_file):
+        with pytest.raises(SystemExit, match="--loads"):
+            run_cli(
+                "--root", str(root), "submit",
+                "--manifest", str(manifest_file), "--loads", "fast",
+            )
+
+    def test_missing_root_errors(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_SERVICE", raising=False)
+        with pytest.raises(SystemExit, match="REPRO_SWEEP_SERVICE"):
+            run_cli("submit", "fig09")
+
+    def test_root_defaults_to_env(
+        self, root, manifest_file, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_SWEEP_SERVICE", str(root))
+        code = run_cli(
+            "submit", "--manifest", str(manifest_file), "--no-progress",
+        )
+        assert code == 0
+        assert (root / "store" / "index.json").exists()
+
+
+class TestStatusQueryGc:
+    @pytest.fixture()
+    def submitted(self, root, manifest_file, capsys):
+        run_cli(
+            "--root", str(root), "submit",
+            "--manifest", str(manifest_file), "--no-progress",
+        )
+        capsys.readouterr()
+        return root
+
+    def test_status_lists_the_job(self, submitted, tiny_manifest, capsys):
+        assert run_cli("--root", str(submitted), "status") == 0
+        out = capsys.readouterr().out
+        assert tiny_manifest.job_id in out
+        assert "complete" in out
+        assert "store: 6 points" in out
+
+    def test_status_json(self, submitted, tiny_manifest, capsys):
+        assert run_cli("--root", str(submitted), "status", "--json") == 0
+        payload = json.loads(capsys.readouterr().out)
+        (job,) = payload["jobs"]
+        assert job["job"] == tiny_manifest.job_id
+        assert job["state"] == "complete"
+        assert job["done"] == 6
+        assert payload["store"]["points"] == 6
+        assert payload["store"]["figures"] == {"figtest": 6}
+
+    def test_status_on_empty_root(self, root, capsys):
+        assert run_cli("--root", str(root), "status") == 0
+        out = capsys.readouterr().out
+        assert "no jobs submitted" in out
+
+    def test_query_filters_and_renders(self, submitted, capsys):
+        assert run_cli(
+            "--root", str(submitted), "query",
+            "--figure", "figtest", "--routing", "MIN", "--max-load", "0.25",
+        ) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert len(lines) == 1 + 2  # header + two MIN points at 0.1, 0.2
+        assert "VAL" not in out
+
+    def test_query_json_rows(self, submitted, capsys):
+        assert run_cli(
+            "--root", str(submitted), "query", "--routing", "VAL", "--json",
+        ) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["load"] for row in rows] == [0.1, 0.2, 0.3]
+        assert all(row["routing"] == "VAL" for row in rows)
+
+    def test_query_no_matches(self, submitted, capsys):
+        assert run_cli(
+            "--root", str(submitted), "query", "--figure", "nothing",
+        ) == 0
+        assert "no matching points" in capsys.readouterr().out
+
+    def test_gc_reports_counts(self, submitted, capsys):
+        (submitted / "store" / "points" / "junk.tmp").write_text("x")
+        assert run_cli("--root", str(submitted), "gc", "--json") == 0
+        counts = json.loads(capsys.readouterr().out)
+        assert counts["indexed"] == 6
+        assert counts["tmp_removed"] == 1
