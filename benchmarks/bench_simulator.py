@@ -19,6 +19,21 @@ name:
   request-reply protocol (two VC classes, reply injection from the
   ejection path).
 
+A second section, ``backend_ab``, times the scalar engine against the
+batched numpy array backend (``repro.network.array_backend``) on the
+same source tree -- interleaved scalar/array samples, best-of-N each,
+``array_speedup = min(scalar)/min(array)``:
+
+* ``paper1k_fig9_point`` -- the paper's 1056-node maximum network
+  (p=h=4, a=8), worst-case traffic, UGAL-L at 20% load: the Figure 9
+  single point at the scale the array backend was built for.
+* ``paper1k_uniform_low_load`` -- the same network, benign traffic at
+  10% load (the injection scan dominates).
+* ``scale16k_uniform_trickle`` -- a 16512-terminal dragonfly (p=8,
+  a=16, h=8) at 2% load, where the scalar engine's O(terminals)
+  injection scan dwarfs the traffic and the array backend's batched
+  Bernoulli draw shows its structural advantage.
+
 Methodology: every timing sample is a fresh subprocess (no warm caches
 shared between engine versions), each case is run ``--reps`` times and
 the *minimum* wall time is reported -- on a busy machine the minimum is
@@ -62,16 +77,26 @@ _CHILD_SRC = """
 import json, sys, time
 from repro.core.params import DragonflyParams
 from repro.network.config import SimulationConfig
-from repro.network.simulator import Simulator
 from repro.network.traffic import make_pattern
 from repro.routing.ugal import make_routing
 from repro.topology.dragonfly import Dragonfly
+
+try:
+    from repro.network.backend import make_simulator
+except ImportError:  # pre-backend engine versions (--baseline REV)
+    from repro.network.simulator import Simulator
+
+    def make_simulator(topology, routing, pattern, config, backend=None):
+        return Simulator(topology, routing, pattern, config)
 
 spec = json.loads(sys.argv[1])
 topology = Dragonfly(DragonflyParams(**spec["params"]))
 config = SimulationConfig(**spec["config"])
 pattern = make_pattern(spec["pattern"], topology, seed=config.seed + 17)
-simulator = Simulator(topology, make_routing(spec["routing"]), pattern, config)
+simulator = make_simulator(
+    topology, make_routing(spec["routing"]), pattern, config,
+    backend=spec.get("backend"),
+)
 start = time.perf_counter()
 simulator.run()
 print(time.perf_counter() - start)
@@ -80,11 +105,23 @@ print(time.perf_counter() - start)
 # The Figure 5 / Figure 9 example network: p=h=2, a=4, N=72 terminals.
 PAPER_72 = {"p": 2, "a": 4, "h": 2}
 
+# The paper's maximum single-stage dragonfly: g=33, 264 routers,
+# N=1056 terminals.
+PAPER_1K = {"p": 4, "a": 8, "h": 4}
+
+# Beyond the paper: p=8, a=16, h=8 -> N=16512 terminals, where the
+# scalar engine's per-terminal injection scan dominates the cycle cost.
+SCALE_16K = {"p": 8, "a": 16, "h": 8}
+
 ACCEPTANCE = {
-    # The tentpole's bar: >= 2x cycle rate at the Figure 9 single point
-    # (20% load) and >= 1.2x at saturation, versus the seed engine.
+    # The active-set rewrite's bar: >= 2x cycle rate at the Figure 9
+    # single point (20% load) and >= 1.2x at saturation, versus the
+    # seed engine.
     "fig9_point_load20_min_speedup": 2.0,
     "fig9_point_saturation_min_speedup": 1.2,
+    # The array backend's bar: the 1056-node Figure 9 point must finish
+    # well inside the 5-minute CI smoke budget on the array backend.
+    "paper1k_fig9_point_max_array_seconds": 300.0,
 }
 
 
@@ -128,6 +165,76 @@ def make_cases(smoke: bool) -> dict:
             "config": dict(base, load=0.2, request_reply=True, num_vcs=6),
         },
     }
+
+
+def make_backend_cases(smoke: bool) -> dict:
+    """Scalar-vs-array A/B configurations (run on the current source)."""
+    warm, meas = (20, 40) if smoke else (200, 400)
+    base = {
+        "warmup_cycles": warm,
+        "measure_cycles": meas,
+        "drain_max_cycles": 0,
+        "seed": 7,
+    }
+    cases = {
+        "paper1k_fig9_point": {
+            "params": PAPER_1K,
+            "routing": "UGAL-L",
+            "pattern": "worst_case",
+            "config": dict(base, load=0.2),
+        },
+        "paper1k_uniform_low_load": {
+            "params": PAPER_1K,
+            "routing": "UGAL-L",
+            "pattern": "uniform_random",
+            "config": dict(base, load=0.1),
+        },
+        "scale16k_uniform_trickle": {
+            "params": SCALE_16K,
+            "routing": "UGAL-L",
+            "pattern": "uniform_random",
+            "config": dict(
+                base,
+                load=0.02,
+                warmup_cycles=warm // 2 or 10,
+                measure_cycles=meas // 2 or 20,
+            ),
+        },
+    }
+    return cases
+
+
+def run_backend_ab(cases, current_src, reps):
+    results = {}
+    for name, spec in cases.items():
+        cycles = spec["config"]["warmup_cycles"] + spec["config"]["measure_cycles"]
+        best = {"scalar": None, "array": None}
+        # Interleave scalar/array samples (same reasoning as --baseline).
+        for _ in range(reps):
+            for backend in ("scalar", "array"):
+                sample = time_once(current_src, dict(spec, backend=backend))
+                if best[backend] is None or sample < best[backend]:
+                    best[backend] = sample
+        entry = {
+            "params": spec["params"],
+            "routing": spec["routing"],
+            "pattern": spec["pattern"],
+            "load": spec["config"]["load"],
+            "simulated_cycles": cycles,
+            "scalar_wall_time_s": round(best["scalar"], 6),
+            "scalar_cycles_per_sec": round(cycles / best["scalar"], 1),
+            "array_wall_time_s": round(best["array"], 6),
+            "array_cycles_per_sec": round(cycles / best["array"], 1),
+            "array_speedup": round(best["scalar"] / best["array"], 3),
+        }
+        results[name] = entry
+        print(
+            f"{name:24s} scalar {entry['scalar_cycles_per_sec']:>9.0f} c/s"
+            f"  array {entry['array_cycles_per_sec']:>9.0f} c/s"
+            f"  ({entry['array_speedup']:.2f}x)",
+            flush=True,
+        )
+    return results
 
 
 def time_once(pythonpath: pathlib.Path, spec: dict) -> float:
@@ -228,6 +335,7 @@ def main(argv=None) -> int:
             print(f"baseline: {args.baseline} in {worktree}", flush=True)
         started = time.strftime("%Y-%m-%dT%H:%M:%S")
         results = run_cases(cases, current_src, baseline_src, reps)
+        backend_results = run_backend_ab(make_backend_cases(args.smoke), current_src, reps)
     finally:
         if worktree is not None:
             subprocess.run(
@@ -245,13 +353,26 @@ def main(argv=None) -> int:
         "baseline_rev": args.baseline,
         "python": sys.version.split()[0],
         "cases": results,
-        "acceptance": ACCEPTANCE if args.baseline else None,
+        "backend_ab": backend_results,
+        "acceptance": ACCEPTANCE,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}", flush=True)
 
+    ok = True
+    # The 1056-node array smoke budget holds in every mode (smoke runs
+    # fewer cycles, so a smoke pass is a necessary, full a sufficient
+    # check).
+    array_wall = backend_results["paper1k_fig9_point"]["array_wall_time_s"]
+    budget = ACCEPTANCE["paper1k_fig9_point_max_array_seconds"]
+    status = "ok" if array_wall <= budget else "OVER BUDGET"
+    print(
+        f"acceptance paper1k_fig9_point: array {array_wall:.2f}s "
+        f"(<= {budget:.0f}s): {status}"
+    )
+    ok = ok and array_wall <= budget
+
     if args.baseline and not args.smoke:
-        ok = True
         for case, key in (
             ("fig9_point_load20", "fig9_point_load20_min_speedup"),
             ("fig9_point_saturation", "fig9_point_saturation_min_speedup"),
@@ -261,8 +382,7 @@ def main(argv=None) -> int:
             status = "ok" if speedup >= bar else "BELOW BAR"
             print(f"acceptance {case}: {speedup:.2f}x (>= {bar}x): {status}")
             ok = ok and speedup >= bar
-        return 0 if ok else 1
-    return 0
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -27,6 +27,13 @@ The laws hold at phase boundaries of the run loop; the hooks in
 Everything is opt-in via ``REPRO_SANITIZE=1`` (stride configurable with
 ``REPRO_SANITIZE_STRIDE``, default 64 cycles) so the disabled-mode cost
 is one predicate per cycle.
+
+Every check reads engine state through the backend-neutral
+:meth:`~repro.network.simulator.Simulator.state_view`, never through
+backend-private fields -- so the same audits run unchanged against the
+scalar engine and the numpy array backend
+(:mod:`repro.network.array_backend`), whose state view synthesises the
+active-set answers that backend keeps only implicitly.
 """
 
 from __future__ import annotations
@@ -38,7 +45,7 @@ from typing import TYPE_CHECKING, Iterable, List, Optional
 from .report import Finding, Severity
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
-    from ..network.simulator import Simulator
+    from ..network.simulator import Simulator, SimulatorStateView
 
 #: Cycles between periodic audits when ``REPRO_SANITIZE_STRIDE`` is unset.
 DEFAULT_STRIDE = 64
@@ -83,12 +90,12 @@ def _error(code: str, location: str, message: str) -> Finding:
     )
 
 
-def _range_findings(sim: "Simulator") -> List[Finding]:
+def _range_findings(view: "SimulatorStateView") -> List[Finding]:
     """SAN001: occupancy and credit counters within the buffer depth."""
     findings = []
-    depth = sim._depth
-    rv = sim._rv
-    for slot, count in enumerate(sim._buf_count):
+    depth = view.depth
+    rv = view.rv
+    for slot, count in enumerate(view.buf_count):
         if not 0 <= count <= depth:
             router, index = divmod(slot, rv)
             findings.append(_error(
@@ -96,7 +103,7 @@ def _range_findings(sim: "Simulator") -> List[Finding]:
                 f"router {router} input slot {index}",
                 f"buffer occupancy {count} outside [0, {depth}]",
             ))
-    for slot, count in enumerate(sim._credits):
+    for slot, count in enumerate(view.credits):
         if not 0 <= count <= depth:
             router, index = divmod(slot, rv)
             findings.append(_error(
@@ -107,28 +114,28 @@ def _range_findings(sim: "Simulator") -> List[Finding]:
     return findings
 
 
-def _inflight_credits(sim: "Simulator") -> Counter:
+def _inflight_credits(view: "SimulatorStateView") -> Counter:
     """Credits in flight upstream, keyed by the credit (output VC) slot."""
     inflight: Counter = Counter()
-    for batch in sim._credit_ring:
+    for batch in view.credit_ring:
         for credit_idx, _ in batch:
             inflight[credit_idx] += 1
-    for batch in sim._credit_overflow.values():
+    for batch in view.credit_overflow.values():
         for credit_idx, _ in batch:
             inflight[credit_idx] += 1
     return inflight
 
 
-def _inflight_arrivals(sim: "Simulator") -> Counter:
+def _inflight_arrivals(view: "SimulatorStateView") -> Counter:
     """Flits in flight on channels, keyed by the destination input slot."""
     inflight: Counter = Counter()
-    for batch in sim._arrival_ring:
+    for batch in view.arrival_ring:
         for _, in_idx, _flit in batch:
             inflight[in_idx] += 1
     return inflight
 
 
-def _credit_findings(sim: "Simulator") -> List[Finding]:
+def _credit_findings(view: "SimulatorStateView") -> List[Finding]:
     """SAN002: per (network channel, VC) credit conservation.
 
     Each downstream input slot is fed by exactly one channel, so for
@@ -137,17 +144,17 @@ def _credit_findings(sim: "Simulator") -> List[Finding]:
     downstream, credit in flight upstream) must sum to the depth.
     """
     findings = []
-    depth = sim._depth
-    radix = sim._radix
-    vcs = sim._vcs
-    credits = sim._credits
-    buf_count = sim._buf_count
-    credit_inflight = _inflight_credits(sim)
-    arrival_inflight = _inflight_arrivals(sim)
-    for router in range(sim._num_routers):
-        for port in sim._network_ports[router]:
+    depth = view.depth
+    radix = view.radix
+    vcs = view.vcs
+    credits = view.credits
+    buf_count = view.buf_count
+    credit_inflight = _inflight_credits(view)
+    arrival_inflight = _inflight_arrivals(view)
+    for router in range(view.num_routers):
+        for port in view.network_ports[router]:
             p_idx = router * radix + port
-            info = sim._channel_info[p_idx]
+            info = view.channel_info[p_idx]
             if info is None:
                 continue
             dst_base = info[1]
@@ -173,16 +180,16 @@ def _credit_findings(sim: "Simulator") -> List[Finding]:
     return findings
 
 
-def _flit_findings(sim: "Simulator") -> List[Finding]:
+def _flit_findings(view: "SimulatorStateView") -> List[Finding]:
     """SAN003: every flit ever created is in exactly one place."""
     findings = []
-    packet_size = sim.config.packet_size
-    created = sim._packet_counter * packet_size
-    at_source = sum(len(queue) for queue in sim._source_queue) * packet_size
-    mid_injection = sum(len(queue) for queue in sim._inflight_injection)
-    buffered = sum(sim._buf_count)
-    arriving = sum(len(batch) for batch in sim._arrival_ring)
-    delivered = sim._flits_delivered
+    packet_size = view.config.packet_size
+    created = view.packet_counter * packet_size
+    at_source = sum(len(queue) for queue in view.source_queue) * packet_size
+    mid_injection = sum(len(queue) for queue in view.inflight_injection)
+    buffered = int(sum(view.buf_count))
+    arriving = sum(len(batch) for batch in view.arrival_ring)
+    delivered = view.flits_delivered
     total = at_source + mid_injection + buffered + arriving + delivered
     if total != created:
         findings.append(_error(
@@ -191,10 +198,10 @@ def _flit_findings(sim: "Simulator") -> List[Finding]:
             f"flit conservation violated: {at_source} at source + "
             f"{mid_injection} mid-injection + {buffered} buffered + "
             f"{arriving} arriving + {delivered} delivered = {total}, "
-            f"expected {created} ({sim._packet_counter} packets x "
+            f"expected {created} ({view.packet_counter} packets x "
             f"{packet_size} flits)",
         ))
-    queued = sum(sim._pending)
+    queued = int(sum(view.pending))
     if buffered != queued:
         findings.append(_error(
             "SAN003",
@@ -205,17 +212,18 @@ def _flit_findings(sim: "Simulator") -> List[Finding]:
     return findings
 
 
-def _active_set_findings(sim: "Simulator") -> List[Finding]:
+def _active_set_findings(view: "SimulatorStateView") -> List[Finding]:
     """SAN004: pending counters, bitmasks, active set and stream table."""
     findings = []
-    radix = sim._radix
-    vcs = sim._vcs
-    rv = sim._rv
-    multi_flit = sim._multi_flit
-    out_q = sim._out_q
-    pending_vc = sim._pending_vc
+    radix = view.radix
+    vcs = view.vcs
+    rv = view.rv
+    multi_flit = view.multi_flit
+    out_q = view.out_q
+    pending_vc = view.pending_vc
+    pending = view.pending
     queued_streams = 0
-    for router in range(sim._num_routers):
+    for router in range(view.num_routers):
         vbase = router * rv
         pbase = router * radix
         mask = 0
@@ -237,45 +245,46 @@ def _active_set_findings(sim: "Simulator") -> List[Finding]:
                         f"with {in_queue} queued flits",
                     ))
                 queued += pending_vc[out_idx]
-            if queued != sim._pending[pbase + port]:
+            if queued != pending[pbase + port]:
                 findings.append(_error(
                     "SAN004",
                     f"router {router} port {port}",
-                    f"pending counter {sim._pending[pbase + port]} disagrees "
+                    f"pending counter {pending[pbase + port]} disagrees "
                     f"with per-VC sum {queued}",
                 ))
             if queued > 0:
                 mask |= 1 << port
-        if mask != sim._active_mask[router]:
+        engine_mask = view.active_port_mask(router)
+        if mask != engine_mask:
             findings.append(_error(
                 "SAN004",
                 f"router {router}",
-                f"active port mask {sim._active_mask[router]:#x} disagrees "
+                f"active port mask {engine_mask:#x} disagrees "
                 f"with recomputed {mask:#x}",
             ))
-        if (router in sim._active_routers) != bool(mask):
+        if view.router_marked_active(router) != bool(mask):
             findings.append(_error(
                 "SAN004",
                 f"router {router}",
                 "active-router set disagrees with the port mask",
             ))
-    if multi_flit and len(sim._streams) != queued_streams:
+    if multi_flit and len(view.streams) != queued_streams:
         findings.append(_error(
             "SAN004",
             "network",
-            f"stream table holds {len(sim._streams)} open streams but the "
+            f"stream table holds {len(view.streams)} open streams but the "
             f"output queues hold {queued_streams}",
         ))
     return findings
 
 
-def _ring_findings(sim: "Simulator") -> List[Finding]:
+def _ring_findings(view: "SimulatorStateView") -> List[Finding]:
     """SAN005: calendar rings and the credit overflow map."""
     findings = []
-    now = sim.now
-    slots = sim._num_routers * sim._rv
-    ports = sim._num_routers * sim._radix
-    for when, batch in sorted(sim._credit_overflow.items()):
+    now = view.now
+    slots = view.num_routers * view.rv
+    ports = view.num_routers * view.radix
+    for when, batch in sorted(view.credit_overflow.items()):
         if when <= now:
             findings.append(_error(
                 "SAN005",
@@ -289,7 +298,7 @@ def _ring_findings(sim: "Simulator") -> List[Finding]:
                 f"credit overflow @{when}",
                 "empty overflow batch kept alive in the map",
             ))
-    for source in (sim._credit_ring, sim._credit_overflow.values()):
+    for source in (view.credit_ring, view.credit_overflow.values()):
         for batch in source:
             for credit_idx, up_p_idx in batch:
                 if not 0 <= credit_idx < slots or not 0 <= up_p_idx < ports:
@@ -299,14 +308,14 @@ def _ring_findings(sim: "Simulator") -> List[Finding]:
                         f"credit event ({credit_idx}, {up_p_idx}) outside "
                         f"the {slots}-slot / {ports}-port state",
                     ))
-    for batch in sim._arrival_ring:
+    for batch in view.arrival_ring:
         for dst_router, in_idx, _flit in batch:
-            if not 0 <= dst_router < sim._num_routers or not 0 <= in_idx < slots:
+            if not 0 <= dst_router < view.num_routers or not 0 <= in_idx < slots:
                 findings.append(_error(
                     "SAN005",
                     "arrival ring",
                     f"arrival event (router {dst_router}, slot {in_idx}) "
-                    f"outside the {sim._num_routers}-router fabric",
+                    f"outside the {view.num_routers}-router fabric",
                 ))
     return findings
 
@@ -319,17 +328,19 @@ def structural_findings(sim: "Simulator") -> List[Finding]:
     :meth:`~repro.network.simulator.Simulator.check_invariants` uses
     exactly this subset.
     """
-    return _range_findings(sim) + _active_set_findings(sim)
+    view = sim.state_view()
+    return _range_findings(view) + _active_set_findings(view)
 
 
 def audit_simulator(sim: "Simulator") -> List[Finding]:
     """Every conservation law (SAN001-SAN005), valid at phase boundaries."""
+    view = sim.state_view()
     return (
-        _range_findings(sim)
-        + _credit_findings(sim)
-        + _flit_findings(sim)
-        + _active_set_findings(sim)
-        + _ring_findings(sim)
+        _range_findings(view)
+        + _credit_findings(view)
+        + _flit_findings(view)
+        + _active_set_findings(view)
+        + _ring_findings(view)
     )
 
 

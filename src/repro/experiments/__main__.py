@@ -11,11 +11,13 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
 
 from . import all_experiment_ids, get_experiment
+from ..network.backend import BACKEND_ENV_VAR, BACKENDS, resolve_backend
 from .base import shared_experiment_executor
 
 
@@ -46,7 +48,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="paper-scale mode (1056-node simulations; much slower)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help=(
+            "simulation engine for every run (default: "
+            f"{BACKEND_ENV_VAR} or scalar)"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.backend is not None:
+        # Exported rather than plumbed so sweep-executor workers inherit it.
+        os.environ[BACKEND_ENV_VAR] = resolve_backend(args.backend)
 
     if args.all:
         selected = all_experiment_ids()

@@ -22,7 +22,7 @@ from ..cost.model import CostConfig
 from ..cost.power import power_comparison
 from ..core.params import DragonflyParams
 from ..network.config import SimulationConfig
-from ..network.simulator import Simulator
+from ..network.backend import make_simulator
 from ..network.traffic import make_pattern
 from ..routing.fb_routing import make_fb_routing
 from ..topology.base import ChannelKind
@@ -116,7 +116,7 @@ class FlattenedButterflyRouting(Experiment):
                 for name in ("FB-MIN", "FB-VAL", "FB-UGAL-L"):
                     config = SimulationConfig(load=load, **windows)
                     pattern = make_pattern(pattern_name, topology, seed=31)
-                    run = Simulator(
+                    run = make_simulator(
                         topology, make_fb_routing(name), pattern, config
                     ).run()
                     row[name] = math.inf if run.saturated else run.avg_latency
@@ -210,7 +210,7 @@ class GroupVariantComparison(Experiment):
                 load=load, drain_max_cycles=drain, **windows
             )
             pattern = make_pattern("worst_case", topology, seed=21)
-            return Simulator(topology, routing, pattern, config).run()
+            return make_simulator(topology, routing, pattern, config).run()
 
         min_run = simulate(canonical, make_routing("MIN"), 0.3, 800)
         ugal_run = simulate(canonical, make_routing("UGAL-L"), 0.1, 8000)
@@ -359,7 +359,7 @@ class FourTopologySimulation(Experiment):
             for pattern_name, load in patterns:
                 config = SimulationConfig(load=load, num_vcs=vcs, **windows)
                 pattern = make_pattern(pattern_name, topology, seed=41)
-                run = Simulator(topology, routing, pattern, config).run()
+                run = make_simulator(topology, routing, pattern, config).run()
                 result.rows.append(
                     {
                         "topology": name,

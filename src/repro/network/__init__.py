@@ -1,5 +1,14 @@
 """Cycle-accurate flit-level interconnection network simulator."""
 
+from .backend import (
+    BACKEND_ENV_VAR,
+    BACKENDS,
+    EquivalenceContract,
+    backend_from_env,
+    contract_for,
+    make_simulator,
+    resolve_backend,
+)
 from .cache import SweepCache, point_key
 from .config import SimulationConfig
 from .packet import Flit, Packet, RoutePlan, make_flits
@@ -32,6 +41,13 @@ from .traffic import (
 )
 
 __all__ = [
+    "BACKEND_ENV_VAR",
+    "BACKENDS",
+    "EquivalenceContract",
+    "backend_from_env",
+    "contract_for",
+    "make_simulator",
+    "resolve_backend",
     "SweepCache",
     "point_key",
     "PointSpec",

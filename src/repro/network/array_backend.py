@@ -1,0 +1,515 @@
+"""Batched numpy engine for the cycle-accurate simulator.
+
+:class:`ArraySimulator` is a drop-in engine behind the same
+:class:`~repro.network.config.SimulationConfig`, the same routing layer
+(``decide``/``next_hop`` are called exactly as the scalar engine calls
+them, so :class:`~repro.routing.tables.TableDrivenRouting` and every
+custom executor plug in unchanged) and the same
+:class:`~repro.network.stats.SimulationResult`.  It exists for the
+paper's 1056-node default scale (``p = h = 4, a = 8``) and beyond,
+where the scalar engine's per-terminal and per-port Python overhead
+dominates the run time.
+
+What is vectorized, and why it stays bit-identical
+--------------------------------------------------
+
+* **Traffic Bernoulli draws.**  The scalar engine draws one
+  ``random.random()`` per terminal per cycle -- the determinism
+  contract pins the stream, but N Python-level draws per cycle are pure
+  overhead.  The array engine transplants the Mersenne-Twister state of
+  the traffic :class:`random.Random` into a
+  :class:`numpy.random.RandomState` (both are MT19937 and both derive
+  53-bit doubles from two 32-bit words the same way), then batch-draws
+  one row of doubles per cycle.  The doubles are *equal bit for bit* to
+  what the scalar engine would have drawn, in the same order --
+  asserted at construction time on a probe draw.
+* **Injection visits.**  Only terminals that drew an injection or have
+  backlog are visited (a boolean busy array replaces the
+  every-terminal scan), in ascending terminal order -- exactly the
+  order the scalar engine consumes the pattern and route RNGs in.
+* **Switch arbitration.**  Within one cycle, every output port's
+  arbitration (round-robin VC probe, credit eligibility, at most one
+  flit forwarded) reads and writes only that port's own queues,
+  credits and round-robin pointer -- decisions are independent across
+  ports, so they batch into masked array operations over the active
+  ports with no observable reordering.  The per-flit tail work
+  (dequeue, credit return, arrival scheduling, ejection) runs in
+  ascending flat-port order, which is precisely the scalar engine's
+  ``sorted(active)`` x ascending-port visit order, so sample order,
+  ring order and every downstream FIFO order match.
+* **Credit delivery.**  Returned credits apply as one duplicate-safe
+  scatter-add per cycle instead of an element-at-a-time loop (in the
+  plain credit path; UGAL-L_CR's round-trip sensing stays per event).
+
+State lives where each representation is cheapest: ``pending_vc``,
+``credits`` and ``rr_vc`` are int64 numpy arrays because the switch
+probe gathers and scatters them wholesale, while ``pending`` and
+``buf_count`` stay plain Python lists because their traffic is
+element-at-a-time -- per-flit bookkeeping, and above all the routing
+layer's ``output_occupancy`` reads on every UGAL decision, which must
+not pay numpy scalar-boxing overhead.  The active-set bitmasks are
+maintained exactly as in the scalar engine.
+
+Multi-flit configurations (``packet_size > 1``) currently run the
+inherited scalar virtual cut-through paths unchanged (the declared
+contract for them is tolerance equivalence -- see
+:mod:`repro.network.backend`); everything else, including request-reply
+protocol traffic and bulk-synchronous workloads, takes the vectorized
+paths.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List
+
+import numpy as np
+
+from ..routing.base import RoutingAlgorithm
+from ..topology.dragonfly import Dragonfly
+from .config import SimulationConfig
+from .packet import Flit, Packet, RoutePlan
+from .simulator import Simulator
+
+
+def transplant_rng(rng: random.Random) -> np.random.RandomState:
+    """A numpy RandomState continuing ``rng``'s exact double stream.
+
+    CPython's :class:`random.Random` and numpy's legacy
+    :class:`~numpy.random.RandomState` both run MT19937 and both build
+    ``random()`` doubles as ``((a >> 5) * 2^26 + (b >> 6)) / 2^53`` from
+    two consecutive 32-bit outputs, so copying the 624-word key and
+    position reproduces the scalar stream bit for bit.
+    """
+    state = rng.getstate()
+    if state[0] != 3:  # pragma: no cover - CPython's only current version
+        raise RuntimeError(
+            f"unsupported random.Random state version {state[0]}"
+        )
+    keys = np.asarray(state[1][:-1], dtype=np.uint32)
+    pos = state[1][-1]
+    np_rng = np.random.RandomState()
+    np_rng.set_state(("MT19937", keys, pos))
+    return np_rng
+
+
+class ArraySimulator(Simulator):
+    """Batched numpy implementation of the simulator engine."""
+
+    def __init__(
+        self,
+        topology: Dragonfly,
+        routing: RoutingAlgorithm,
+        pattern: Callable[[int], int],
+        config: SimulationConfig,
+    ) -> None:
+        super().__init__(topology, routing, pattern, config)
+        #: Vectorized paths cover single-flit packets (the paper's
+        #: default); multi-flit runs fall through to the inherited
+        #: scalar cut-through machinery untouched.
+        self._vectorized = config.packet_size == 1
+        if not self._vectorized:
+            return
+        # Switch-probe state as int64 arrays (see module docstring for
+        # why only these three); the inherited scalar paths that still
+        # touch them element-wise keep working transparently.
+        self._credits = np.asarray(self._credits, dtype=np.int64)
+        self._pending_vc = np.asarray(self._pending_vc, dtype=np.int64)
+        self._rr_vc = np.asarray(self._rr_vc, dtype=np.int64)
+        #: True per flat port that has a network channel (ejection and
+        #: unwired ports need no credit to forward).
+        self._is_network = np.asarray(
+            [info is not None for info in self._channel_info], dtype=bool
+        )
+        #: Busy terminals: source queue or mid-injection stream
+        #: non-empty.  Injection visits busy terminals plus this
+        #: cycle's Bernoulli winners instead of scanning all N.
+        self._busy = np.asarray(
+            [
+                bool(self._source_queue[t]) or bool(self._inflight_injection[t])
+                for t in range(self._num_terminals)
+            ],
+            dtype=bool,
+        )
+        # Continue the traffic RNG's exact stream in numpy, and prove
+        # it on a probe draw: one double from a copy of each generator
+        # must agree bit for bit.
+        probe = random.Random()
+        probe.setstate(self._rng_traffic.getstate())
+        self._np_traffic = transplant_rng(self._rng_traffic)
+        if transplant_rng(probe).random_sample() != probe.random():
+            raise RuntimeError(  # pragma: no cover - MT19937 contract
+                "numpy RandomState failed to reproduce random.Random's "
+                "double stream; the array backend would break bit-identity"
+            )
+        # The probe consumed draws from copies only; self._np_traffic
+        # still sits at the scalar stream's position.
+
+    # ------------------------------------------------------------------
+    # Phase 1: arrivals (per-flit hop dispatch, batched VC counters)
+    # ------------------------------------------------------------------
+    def _deliver_arrivals(self, now: int) -> None:
+        if not self._vectorized:
+            return super()._deliver_arrivals(now)
+        batch = self._arrival_ring[now % self._arrival_ring_size]
+        if not batch:
+            return
+        # Mirrors the scalar single-flit fast path: the hop decision and
+        # FIFO appends stay per flit (the next-hop memo and the routing
+        # executors are Python); the per-VC counter increments batch at
+        # the end.  Also used when the hop cache is disabled
+        # (table-driven or custom routing): ``hop_key`` is then None per
+        # flit and the executor is consulted directly, exactly as
+        # ``_enqueue`` does.
+        radix = self._radix
+        vcs = self._vcs
+        hop = self._hop
+        hop_cache_enabled = self._hop_cache_enabled
+        cache0 = self._hop_cache0
+        cache1 = self._hop_cache1
+        cache2 = self._hop_cache2
+        dst_routers = self._dst_router
+        eject_hop = self._eject_hop
+        num_routers = self._num_routers
+        channel_info = self._channel_info
+        credit_delay = self._credit_delay_enabled
+        ctq = self._ctq
+        buf_count = self._buf_count
+        out_q = self._out_q
+        pending = self._pending
+        active_mask = self._active_mask
+        active_routers = self._active_routers
+        out_idxs: List[int] = []
+        for router, in_idx, flit in batch:
+            packet = flit.packet
+            plan = packet.plan
+            hop_key = plan.hop_key if hop_cache_enabled else None
+            dst = packet.dst_terminal
+            progress = flit.progress
+            if hop_key is None:
+                h = self.routing.next_hop(self.topology, router, plan, progress, dst)
+                out_port, out_vc, flit.next_progress = h
+            elif progress == 0 and plan.gc1 is not None:
+                h = cache0.get(hop_key[0] + router)
+                if h is None:
+                    h = hop(plan, hop_key, router, 0, dst)
+                out_port, out_vc, flit.next_progress = h
+            elif progress == 1 and plan.gc2 is not None:
+                h = cache1.get(hop_key[1] + router)
+                if h is None:
+                    h = hop(plan, hop_key, router, 1, dst)
+                out_port, out_vc, flit.next_progress = h
+            else:
+                dst_router = dst_routers[dst]
+                if router == dst_router:
+                    out_port, out_vc = eject_hop[dst]
+                    flit.next_progress = progress
+                else:
+                    h2 = cache2.get(router * num_routers + dst_router)
+                    if h2 is None:
+                        h = self.routing.next_hop(
+                            self.topology, router, plan, progress, dst
+                        )
+                        cache2[router * num_routers + dst_router] = (h[0], h[1])
+                        out_port, out_vc, flit.next_progress = h
+                    else:
+                        out_port, out_vc = h2
+                        flit.next_progress = progress
+            p_idx = router * radix + out_port
+            if packet.vc_class and channel_info[p_idx] is not None:
+                out_vc += 3 * packet.vc_class
+            flit.in_idx = in_idx
+            if credit_delay and channel_info[p_idx] is not None:
+                ctq[p_idx].append(now)
+            buf_count[in_idx] += 1
+            out_idx = p_idx * vcs + out_vc
+            out_q[out_idx].append(flit)
+            count = pending[p_idx] + 1
+            pending[p_idx] = count
+            if count == 1:
+                mask = active_mask[router]
+                if not mask:
+                    active_routers.add(router)
+                active_mask[router] = mask | (1 << out_port)
+            out_idxs.append(out_idx)
+        # Two inputs can be routed to the same output VC in one cycle,
+        # so the batched increment must be duplicate-safe.
+        np.add.at(self._pending_vc, np.asarray(out_idxs, dtype=np.intp), 1)
+        batch.clear()
+
+    # ------------------------------------------------------------------
+    # Phase 1b: credit delivery (batched scatter-add)
+    # ------------------------------------------------------------------
+    def _deliver_credits(self, now: int) -> None:
+        if not self._vectorized or self._credit_delay_enabled:
+            # UGAL-L_CR's round-trip sensing pops per-event CTQ stamps
+            # and maintains running minima -- inherently sequential, so
+            # the scalar path keeps it.
+            return super()._deliver_credits(now)
+        batch = self._credit_ring[now % self._credit_ring_size]
+        if self._credit_overflow:
+            overflow = self._credit_overflow.pop(now, None)
+            if overflow:
+                batch.extend(overflow)
+        if not batch:
+            return
+        np.add.at(
+            self._credits,
+            np.asarray([event[0] for event in batch], dtype=np.intp),
+            1,
+        )
+        batch.clear()
+
+    # ------------------------------------------------------------------
+    # Phase 2: injection (batched Bernoulli, busy-set visits)
+    # ------------------------------------------------------------------
+    def _inject(self, now: int) -> None:
+        if not self._vectorized:
+            return super()._inject(now)
+        busy = self._busy
+        inject_one = self._inject_one_array
+        if self._bulk_mode:
+            for terminal in np.nonzero(busy)[0].tolist():
+                inject_one(terminal, now)
+            return
+        config = self.config
+        packet_prob = config.load / config.packet_size
+        # One batched row per cycle == the scalar engine's one draw per
+        # terminal per cycle, double for double.
+        draws = self._np_traffic.random_sample(self._num_terminals)
+        injecting = draws < packet_prob
+        visits = np.nonzero(injecting | busy)[0]
+        if visits.size == 0:
+            return
+        pattern = self.pattern
+        tagged_window = self._measure_start <= now < self._measure_end
+        counter = self._packet_counter
+        source_queue = self._source_queue
+        for terminal, injects in zip(
+            visits.tolist(), injecting[visits].tolist()
+        ):
+            if injects:
+                packet = Packet(
+                    counter, terminal, pattern(terminal), now, 1,
+                    None, tagged_window,
+                )
+                counter += 1
+                if tagged_window:
+                    self._outstanding_tagged += 1
+                source_queue[terminal].append(packet)
+            inject_one(terminal, now)
+        self._packet_counter = counter
+
+    def _inject_one_array(self, terminal: int, now: int) -> None:
+        """Single-flit injection attempt (mirrors ``_inject_one``).
+
+        Differences from the scalar method: no multi-flit branches (the
+        vectorized mode guarantees ``packet_size == 1``) and the busy
+        flag is refreshed on exit so the visit set stays exact.
+        """
+        queue = self._source_queue[terminal]
+        if not queue:
+            self._busy[terminal] = False
+            return
+        router = self._terminal_router[terminal]
+        base = self._inject_base[terminal]
+        packet = queue[0]
+        plan = packet.plan
+        hop = None
+        if plan is None:
+            dst = packet.dst_terminal
+            plan = self.routing.decide(
+                self, self.topology, self._rng_route, router, dst
+            )
+            packet.plan = plan
+            hop_key = None
+            if self._hop_cache_enabled and type(plan) is RoutePlan:
+                hop_key = plan.hop_key
+                if hop_key is None:
+                    hop_key = self._intern_plan(plan)
+            if hop_key is not None:
+                hop = self._hop(plan, hop_key, router, 0, dst)
+            else:
+                hop = self.routing.next_hop(self.topology, router, plan, 0, dst)
+            packet.hop_assignment[router] = (hop[0], hop[1])
+            in_idx = base + hop[1]
+        else:
+            # Retry after backpressure (see the scalar engine).
+            in_idx = base + packet.hop_assignment[router][1]
+        if self._depth - self._buf_count[in_idx] < 1:
+            # No space: the queue is non-empty, so the terminal must be
+            # revisited next cycle even if this visit came from a fresh
+            # Bernoulli draw rather than the busy set.
+            self._busy[terminal] = True
+            return
+        queue.popleft()
+        packet.inject_time = now
+        flit = Flit(packet)
+        if hop is None:
+            dst = packet.dst_terminal
+            hop_key = plan.hop_key if self._hop_cache_enabled else None
+            if hop_key is not None:
+                hop = self._hop(plan, hop_key, router, 0, dst)
+            else:
+                hop = self.routing.next_hop(self.topology, router, plan, 0, dst)
+        out_port, out_vc, flit.next_progress = hop
+        p_idx = router * self._radix + out_port
+        channel = self._channel_info[p_idx]
+        if packet.vc_class and channel is not None:
+            out_vc += 3 * packet.vc_class
+        packet.hop_assignment[router] = (out_port, out_vc)
+        flit.in_idx = in_idx
+        if self._credit_delay_enabled and channel is not None:
+            self._ctq[p_idx].append(now)
+        self._buf_count[in_idx] += 1
+        out_idx = p_idx * self._vcs + out_vc
+        self._out_q[out_idx].append(flit)
+        pending = self._pending
+        count = pending[p_idx] + 1
+        pending[p_idx] = count
+        if count == 1:
+            mask = self._active_mask[router]
+            if not mask:
+                self._active_routers.add(router)
+            self._active_mask[router] = mask | (1 << out_port)
+        self._pending_vc[out_idx] += 1
+        self._busy[terminal] = bool(queue)
+
+    # ------------------------------------------------------------------
+    # Phase 3: switch (vectorized arbitration, ordered per-flit tail)
+    # ------------------------------------------------------------------
+    def _switch(self) -> None:
+        if not self._vectorized:
+            return super()._switch()
+        active = self._active_routers
+        if not active:
+            return
+        radix = self._radix
+        masks = self._active_mask
+        # Snapshot the active ports in ascending flat-port order -- the
+        # scalar visit order (sorted routers, ascending ports), which
+        # sample ordering and the golden fixtures depend on.
+        act_ports: List[int] = []
+        for router in sorted(active):
+            mask = masks[router]
+            rbase = router * radix
+            while mask:
+                low = mask & -mask
+                mask -= low
+                act_ports.append(rbase + low.bit_length() - 1)
+        act = np.asarray(act_ports, dtype=np.intp)
+        vcs = self._vcs
+        credits = self._credits
+        pending_vc = self._pending_vc
+        rr = self._rr_vc[act]
+        slot_base = act * vcs
+        needs_no_credit = ~self._is_network[act]
+        # Round-robin VC probe, all active ports at once: for each
+        # offset in the rotation, a port still unselected takes this VC
+        # iff the VC has queued flits and (ejection port, or downstream
+        # credit available) -- the scalar loop's conditions verbatim.
+        # Port decisions are independent within a cycle (each touches
+        # only its own slots), so batching cannot reorder anything.
+        selected_vc = np.full(act.size, -1, dtype=np.int64)
+        for offset in range(vcs):
+            vc = rr + offset
+            vc[vc >= vcs] -= vcs
+            slot = slot_base + vc
+            take = (
+                (selected_vc < 0)
+                & (pending_vc[slot] > 0)
+                & (needs_no_credit | (credits[slot] > 0))
+            )
+            selected_vc[take] = vc[take]
+        chosen = selected_vc >= 0
+        if not chosen.any():
+            return
+        ports = act[chosen]
+        vc_sel = selected_vc[chosen]
+        out_idx = ports * vcs + vc_sel
+        # Batched bookkeeping: each selected port forwards exactly one
+        # flit, network ports additionally consume one downstream
+        # credit, and the round-robin pointer advances past the winner.
+        pending_vc[out_idx] -= 1
+        credits[out_idx] -= self._is_network[ports]
+        next_rr = vc_sel + 1
+        next_rr[next_rr >= vcs] = 0
+        self._rr_vc[ports] = next_rr
+        # Per-flit tail in ascending flat-port order (== scalar order):
+        # dequeue, pending/active-set bookkeeping, upstream credit
+        # return, forward or eject.
+        now = self.now
+        measuring = self._measure_start <= now < self._measure_end
+        out_q = self._out_q
+        buf_count = self._buf_count
+        pending = self._pending
+        channel_info = self._channel_info
+        credit_delay = self._credit_delay_enabled
+        td = self._td
+        td_min = self._td_min
+        credit_gain = self._credit_gain
+        global_flits = self._global_flits
+        arrival_ring = self._arrival_ring
+        arrival_ring_size = self._arrival_ring_size
+        credit_ring = self._credit_ring
+        credit_ring_size = self._credit_ring_size
+        eject = self._eject
+        for p_idx, slot, vc in zip(
+            ports.tolist(), out_idx.tolist(), vc_sel.tolist()
+        ):
+            flit = out_q[slot].popleft()
+            count = pending[p_idx] - 1
+            pending[p_idx] = count
+            if not count:
+                router = p_idx // radix
+                left = masks[router] & ~(1 << (p_idx - router * radix))
+                masks[router] = left
+                if not left:
+                    active.discard(router)
+            buf_count[flit.in_idx] -= 1
+            info = channel_info[p_idx]
+            upstream = flit.upstream
+            if upstream is not None:
+                credit_idx, up_p_idx, offset = upstream
+                if (
+                    credit_delay
+                    and info is not None
+                    and not flit.arrived_on_global
+                ):
+                    excess = td[p_idx] - td_min[p_idx // radix]
+                    if excess > 0:
+                        offset += int(credit_gain * excess)
+                if offset <= credit_ring_size:
+                    credit_ring[(now + offset) % credit_ring_size].append(
+                        (credit_idx, up_p_idx)
+                    )
+                else:
+                    overflow = self._credit_overflow
+                    batch = overflow.get(now + offset)
+                    if batch is None:
+                        overflow[now + offset] = [(credit_idx, up_p_idx)]
+                    else:
+                        batch.append((credit_idx, up_p_idx))
+            if info is None:
+                eject(p_idx, flit, now, measuring)
+            else:
+                dst_router, dst_base, latency, is_global, channel_index = info
+                flit.progress = flit.next_progress
+                if is_global and measuring:
+                    global_flits[channel_index] += 1
+                flit.upstream = (slot, p_idx, latency)
+                flit.arrived_on_global = is_global
+                arrival_ring[(now + latency) % arrival_ring_size].append(
+                    (dst_router, dst_base + vc, flit)
+                )
+
+    def _eject(self, p_idx: int, flit: Flit, now: int, measuring: bool) -> None:
+        super()._eject(p_idx, flit, now, measuring)
+        if (
+            self._vectorized
+            and self._request_reply
+            and flit.packet.vc_class == 0
+        ):
+            # The spawned reply queued at the request's destination NIC
+            # must wake that terminal's injection.
+            self._busy[flit.packet.dst_terminal] = True

@@ -1,0 +1,257 @@
+"""Simulation backend selection and the backend-equivalence contract.
+
+The cycle-accurate engine has two interchangeable implementations:
+
+``scalar``
+    The reference engine (:class:`~repro.network.simulator.Simulator`):
+    pure-Python occupancy-driven loops.  Every behavioural contract in
+    the repository -- golden fixtures, differential corpus, sanitizer
+    laws -- is defined against this engine.
+``array``
+    The batched numpy engine
+    (:class:`~repro.network.array_backend.ArraySimulator`): the
+    per-cycle scans (injection Bernoulli draws, switch port/VC
+    arbitration, credit eligibility, counter updates) run as masked
+    array operations over the active sets.  Built for the paper's
+    1056-node default scale (``p = h = 4, a = 8``) where the scalar
+    engine's per-terminal/per-port Python overhead dominates.
+
+Selection is *per run*: pass ``backend="array"`` to
+:func:`make_simulator` / :func:`repro.network.simulator.simulate`, or
+set ``REPRO_SIM_BACKEND=array`` in the environment to switch every run
+that does not name a backend explicitly -- including the sweep
+executor's worker processes and the sweep service, which inherit the
+environment and need no changes.
+
+Equivalence contract
+--------------------
+
+The array backend is not allowed to be "roughly right"; its agreement
+with the scalar engine is a declared, machine-checked contract
+(:func:`contract_for`), asserted by the backend-differential harness
+(``tests/network/test_backend_differential.py``) over the 184-case
+corpus, the golden fixtures, and a Hypothesis shape fuzzer:
+
+* **Single-flit configurations** (``packet_size == 1``, the paper's
+  default, with or without request-reply): **bit-identical**.  The
+  array engine consumes the same RNG streams in the same order (the
+  traffic Bernoulli stream is batch-drawn from a Mersenne-Twister whose
+  state is transplanted verbatim into numpy, which reproduces
+  CPython's ``random.random`` doubles exactly), and its vectorized
+  switch arbitration is an exact reformulation: within one cycle every
+  output port's decision depends only on that port's own queues,
+  credits and round-robin pointer, so batching the decisions cannot
+  reorder anything observable.
+* **Multi-flit configurations** (``packet_size > 1``): the array
+  backend currently runs the scalar engine's virtual cut-through paths
+  unchanged (vectorizing them is future work), so runs are today also
+  bit-identical; the *declared* contract is the weaker
+  statistical-equivalence tolerance below, which is what the harness
+  asserts first, so a future vectorized multi-flit path can relax to
+  it without weakening any promise made here.
+
+Tolerance equivalence means: at matched seeds, mean packet latency
+agrees within ``mean_latency_rtol`` (relative), accepted load within
+``accepted_load_atol`` (absolute, flits/terminal/cycle), and both
+backends agree on whether the run saturated.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+
+from .config import SimulationConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..routing.base import RoutingAlgorithm
+    from ..topology.dragonfly import Dragonfly
+    from .simulator import Simulator
+
+#: Environment variable selecting the default backend (default scalar).
+BACKEND_ENV_VAR = "REPRO_SIM_BACKEND"
+
+#: The recognised backend names.
+BACKENDS = ("scalar", "array")
+
+
+def backend_from_env() -> str:
+    """Backend name from ``REPRO_SIM_BACKEND``.
+
+    Unset or blank means ``scalar``.  Anything else must name a known
+    backend -- garbage raises :class:`ValueError` naming the variable
+    instead of silently running the wrong engine.
+    """
+    raw = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
+    if not raw:
+        return "scalar"
+    if raw not in BACKENDS:
+        raise ValueError(
+            f"{BACKEND_ENV_VAR} must be one of {list(BACKENDS)}, got {raw!r}"
+        )
+    return raw
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Normalise an explicit backend name, or fall back to the env var."""
+    if backend is None:
+        return backend_from_env()
+    name = backend.strip().lower()
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown simulation backend {backend!r}; choose from {list(BACKENDS)}"
+        )
+    return name
+
+
+def make_simulator(
+    topology: "Dragonfly",
+    routing: "RoutingAlgorithm",
+    pattern: Callable[[int], int],
+    config: SimulationConfig,
+    backend: Optional[str] = None,
+) -> "Simulator":
+    """Build the selected engine behind the uniform Simulator interface.
+
+    ``backend=None`` defers to ``REPRO_SIM_BACKEND`` (default scalar),
+    which is how the sweep executor's workers and the sweep service
+    pick the backend up without any plumbing of their own.
+    """
+    name = resolve_backend(backend)
+    if name == "array":
+        try:
+            from .array_backend import ArraySimulator
+        except ImportError as exc:  # pragma: no cover - numpy is baked in
+            raise RuntimeError(
+                "the array simulation backend requires numpy; install it "
+                "or select backend='scalar'"
+            ) from exc
+        return ArraySimulator(topology, routing, pattern, config)
+    from .simulator import Simulator
+
+    return Simulator(topology, routing, pattern, config)
+
+
+@dataclass(frozen=True)
+class EquivalenceContract:
+    """What the array backend promises relative to the scalar engine."""
+
+    #: True: per-packet latency samples, global channel flit counts and
+    #: every other field of the result must match bit for bit.
+    bit_identical: bool
+    #: Relative tolerance on mean packet latency at matched seeds.
+    mean_latency_rtol: float
+    #: Absolute tolerance on accepted load (flits/terminal/cycle).
+    accepted_load_atol: float
+    #: One-line rationale, printed by the harness on failure.
+    note: str
+
+
+#: Tolerances for configurations where only statistical equivalence is
+#: promised.  Deliberately tight: at matched seeds the two engines see
+#: identical traffic, so even a relaxed backend has no excuse for drift
+#: beyond arbitration reorderings.
+TOLERANCE = EquivalenceContract(
+    bit_identical=False,
+    mean_latency_rtol=0.02,
+    accepted_load_atol=0.01,
+    note=(
+        "multi-flit virtual cut-through: contract allows tolerance "
+        "equivalence (current implementation delegates to the scalar "
+        "paths and is in fact bit-identical)"
+    ),
+)
+
+BIT_IDENTICAL = EquivalenceContract(
+    bit_identical=True,
+    mean_latency_rtol=0.0,
+    accepted_load_atol=0.0,
+    note="single-flit: same RNG draw order, exact vectorized arbitration",
+)
+
+
+def contract_for(config: SimulationConfig) -> EquivalenceContract:
+    """The equivalence the array backend owes on this configuration."""
+    if config.packet_size == 1:
+        return BIT_IDENTICAL
+    return TOLERANCE
+
+
+# ----------------------------------------------------------------------
+# Divergence diagnostics (used by the differential harness on failure)
+# ----------------------------------------------------------------------
+def _state_fingerprint(sim: "Simulator") -> List[Tuple[str, object]]:
+    """Cheap per-cycle digest of engine state, field by field."""
+    view = sim.state_view()
+    return [
+        ("packet_counter", view.packet_counter),
+        ("flits_delivered", view.flits_delivered),
+        ("outstanding_tagged", view.outstanding_tagged),
+        ("samples", len(view.samples)),
+        ("buf_count", _as_tuple(view.buf_count)),
+        ("credits", _as_tuple(view.credits)),
+        ("pending", _as_tuple(view.pending)),
+        ("pending_vc", _as_tuple(view.pending_vc)),
+        ("rr_vc", _as_tuple(view.rr_vc)),
+        ("source_queue", tuple(len(q) for q in view.source_queue)),
+        (
+            "arrival_ring",
+            tuple(len(batch) for batch in view.arrival_ring),
+        ),
+        ("credit_ring", tuple(len(batch) for batch in view.credit_ring)),
+    ]
+
+
+def _as_tuple(seq) -> Tuple[int, ...]:
+    return tuple(int(value) for value in seq)
+
+
+def first_divergence(
+    topology: "Dragonfly",
+    routing_factory: Callable[[], "RoutingAlgorithm"],
+    pattern_factory: Callable[[], Callable[[int], int]],
+    config: SimulationConfig,
+    max_cycles: Optional[int] = None,
+) -> Optional[Tuple[int, str, object, object]]:
+    """Run both backends in lockstep and locate the first state split.
+
+    Returns ``(cycle, field, scalar_value, array_value)`` for the first
+    cycle after which any fingerprinted engine field differs, or
+    ``None`` when the two engines stay in lockstep for the whole run.
+    Each backend gets its own freshly built routing and pattern so RNG
+    streams start identically.  This is a diagnostic -- it re-simulates
+    at one-cycle granularity and is far slower than a plain run; the
+    differential harness only calls it after an equivalence assertion
+    has already failed.
+    """
+    scalar = make_simulator(
+        topology, routing_factory(), pattern_factory(), config, backend="scalar"
+    )
+    array = make_simulator(
+        topology, routing_factory(), pattern_factory(), config, backend="array"
+    )
+    limit = (
+        scalar._measure_end + config.drain_max_cycles
+        if max_cycles is None
+        else max_cycles
+    )
+    for now in range(limit):
+        for sim in (scalar, array):
+            sim.now = now
+            sim._deliver_arrivals(now)
+            sim._deliver_credits(now)
+            sim._inject(now)
+            sim._switch()
+        for (field, left), (_, right) in zip(
+            _state_fingerprint(scalar), _state_fingerprint(array)
+        ):
+            if left != right:
+                return now, field, left, right
+        if (
+            now >= scalar._measure_end
+            and scalar._outstanding_tagged == 0
+            and array._outstanding_tagged == 0
+        ):
+            break
+    return None

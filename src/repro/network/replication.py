@@ -19,7 +19,7 @@ from ..routing.base import RoutingAlgorithm
 from ..topology.dragonfly import Dragonfly
 from .config import SimulationConfig
 from .parallel import PointSpec, SweepExecutor, derive_seeds
-from .simulator import Simulator
+from .backend import make_simulator
 from .stats import SimulationResult
 from .traffic import make_pattern
 
@@ -123,7 +123,7 @@ def replicate(
             seeded = dataclasses.replace(config, seed=seed)
             pattern = make_pattern(pattern_name, topology, seed=seed + 17)
             results.append(
-                Simulator(topology, make_algorithm(), pattern, seeded).run()
+                make_simulator(topology, make_algorithm(), pattern, seeded).run()
             )
     stable = [r for r in results if not r.saturated]
     latencies = [r.avg_latency for r in stable] or [math.inf]

@@ -69,6 +69,149 @@ class SimulatorStateError(RuntimeError):
     too) by :meth:`Simulator.check_invariants` and by consistency checks
     on the hot path."""
 
+
+class SimulatorStateView:
+    """Backend-neutral read window onto a live engine's state.
+
+    The conservation sanitizer (:mod:`repro.check.sanitizer`) and the
+    backend-differential diagnostics read engine state exclusively
+    through this view, never through backend-private fields -- so the
+    same audits run unchanged against the scalar engine and the array
+    backend (:mod:`repro.network.array_backend`), and a future backend
+    with a different layout only has to supply a view subclass.
+
+    Every accessor delegates to the live simulator at call time rather
+    than copying: an audit sees exactly the state the engine holds at
+    that instant, including any corruption a test injects in place.
+    """
+
+    __slots__ = ("_sim",)
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+
+    # -- run identity ---------------------------------------------------
+    @property
+    def config(self) -> SimulationConfig:
+        return self._sim.config
+
+    @property
+    def now(self) -> int:
+        return self._sim.now
+
+    # -- geometry -------------------------------------------------------
+    @property
+    def num_routers(self) -> int:
+        return self._sim._num_routers
+
+    @property
+    def radix(self) -> int:
+        return self._sim._radix
+
+    @property
+    def vcs(self) -> int:
+        return self._sim._vcs
+
+    @property
+    def rv(self) -> int:
+        return self._sim._rv
+
+    @property
+    def depth(self) -> int:
+        return self._sim._depth
+
+    @property
+    def multi_flit(self) -> bool:
+        return self._sim._multi_flit
+
+    @property
+    def channel_info(self):
+        return self._sim._channel_info
+
+    @property
+    def network_ports(self):
+        return self._sim._network_ports
+
+    # -- flow-control counters (flat layouts, see class docstring) ------
+    @property
+    def buf_count(self):
+        return self._sim._buf_count
+
+    @property
+    def credits(self):
+        return self._sim._credits
+
+    @property
+    def pending(self):
+        return self._sim._pending
+
+    @property
+    def pending_vc(self):
+        return self._sim._pending_vc
+
+    @property
+    def rr_vc(self):
+        return self._sim._rr_vc
+
+    # -- queues, rings, streams -----------------------------------------
+    @property
+    def out_q(self):
+        return self._sim._out_q
+
+    @property
+    def streams(self):
+        return self._sim._streams
+
+    @property
+    def source_queue(self):
+        return self._sim._source_queue
+
+    @property
+    def inflight_injection(self):
+        return self._sim._inflight_injection
+
+    @property
+    def arrival_ring(self):
+        return self._sim._arrival_ring
+
+    @property
+    def credit_ring(self):
+        return self._sim._credit_ring
+
+    @property
+    def credit_overflow(self):
+        return self._sim._credit_overflow
+
+    # -- measurement ----------------------------------------------------
+    @property
+    def packet_counter(self) -> int:
+        return self._sim._packet_counter
+
+    @property
+    def flits_delivered(self) -> int:
+        return self._sim._flits_delivered
+
+    @property
+    def outstanding_tagged(self) -> int:
+        return self._sim._outstanding_tagged
+
+    @property
+    def samples(self):
+        return self._sim._samples
+
+    # -- active set -----------------------------------------------------
+    # The scalar engine maintains explicit bitmasks and an active-router
+    # set; the array backend derives activity from its pending array.
+    # These two methods are the only polymorphic part of the view.
+    def active_port_mask(self, router: int) -> int:
+        """Bitmask of this router's output ports the engine considers
+        active (bit ``p`` set iff port ``p`` has queued flits)."""
+        return self._sim._active_mask[router]
+
+    def router_marked_active(self, router: int) -> bool:
+        """Whether the engine's switch phase would visit this router."""
+        return router in self._sim._active_routers
+
 #: (dst_router, dst_in_base, latency, is_global, channel_index) where
 #: ``dst_in_base`` is the absolute VC-slot base of the downstream input
 #: (``dst_router * radix * vcs + dst_port * vcs``), so arrival delivery
@@ -354,6 +497,16 @@ class Simulator:
     def output_vc_occupancy(self, router: int, out_port: int, vc: int) -> int:
         """Per-VC component of :meth:`output_occupancy`."""
         return self._pending_vc[router * self._rv + out_port * self._vcs + vc]
+
+    def state_view(self) -> SimulatorStateView:
+        """Backend-neutral window onto the live engine state.
+
+        The sanitizer's conservation laws and the backend-differential
+        fingerprint read through this; a backend whose internal layout
+        diverges from the flat-list reference overrides it with a view
+        subclass answering the same questions.
+        """
+        return SimulatorStateView(self)
 
     def check_invariants(self) -> None:
         """Flow-control invariants; raises SimulatorStateError on violation.
@@ -1069,6 +1222,15 @@ def simulate(
     routing: RoutingAlgorithm,
     pattern: Callable[[int], int],
     config: SimulationConfig,
+    backend: Optional[str] = None,
 ) -> SimulationResult:
-    """Convenience one-shot run."""
-    return Simulator(topology, routing, pattern, config).run()
+    """Convenience one-shot run.
+
+    ``backend`` selects the engine implementation (``"scalar"`` or
+    ``"array"``); ``None`` defers to ``REPRO_SIM_BACKEND`` (default
+    scalar).  See :mod:`repro.network.backend` for the equivalence
+    contract between the engines.
+    """
+    from .backend import make_simulator
+
+    return make_simulator(topology, routing, pattern, config, backend).run()

@@ -14,9 +14,9 @@ from typing import Dict, List, Optional, Sequence
 
 from ..routing.base import RoutingAlgorithm
 from ..topology.dragonfly import Dragonfly
+from .backend import make_simulator
 from .config import SimulationConfig
 from .parallel import PointSpec, SweepExecutor
-from .simulator import Simulator
 from .stats import SimulationResult
 from .traffic import make_pattern
 
@@ -42,9 +42,14 @@ def run_point(
     pattern_name: str,
     config: SimulationConfig,
 ) -> SimulationResult:
-    """One simulation run with a freshly seeded pattern."""
+    """One simulation run with a freshly seeded pattern.
+
+    The engine backend comes from ``REPRO_SIM_BACKEND`` (default
+    scalar); worker processes inherit the environment, so the whole
+    sweep/cache/service stack switches backends with no plumbing.
+    """
     pattern = make_pattern(pattern_name, topology, seed=config.seed + 17)
-    return Simulator(topology, routing, pattern, config).run()
+    return make_simulator(topology, routing, pattern, config).run()
 
 
 def load_sweep(

@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Sequence
 from ..routing.ugal import make_routing
 from ..topology.dragonfly import Dragonfly
 from .config import SimulationConfig
-from .simulator import Simulator
+from .backend import make_simulator
 from .traffic import make_pattern
 
 
@@ -129,7 +129,9 @@ def run_workload(
         pattern = make_pattern(
             phase.pattern, topology, seed=seed + 100 + index, **phase.pattern_kwargs
         )
-        run = Simulator(topology, make_routing(routing_name), pattern, config).run()
+        run = make_simulator(
+            topology, make_routing(routing_name), pattern, config
+        ).run()
         result.phase_results.append(
             PhaseResult(
                 phase=phase,

@@ -11,6 +11,11 @@ import os
 import pytest
 
 from repro.check.sanitizer import DEFAULT_STRIDE, ENV_STRIDE, stride_from_env
+from repro.network.backend import (
+    BACKEND_ENV_VAR,
+    backend_from_env,
+    resolve_backend,
+)
 from repro.network.cache import CACHE_ENV_VAR, SweepCache
 from repro.network.parallel import WORKERS_ENV_VAR, SweepExecutor
 from repro.service.client import SERVICE_ENV_VAR, service_root_from_env
@@ -166,3 +171,51 @@ class TestSchedulerKnobs:
         monkeypatch.setenv(HEARTBEAT_ENV_VAR, raw)
         with pytest.raises(ValueError, match=HEARTBEAT_ENV_VAR):
             SchedulerOptions.from_env()
+
+
+class TestSimBackend:
+    def test_unset_means_scalar(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert backend_from_env() == "scalar"
+
+    @pytest.mark.parametrize("raw", ["", "   "])
+    def test_blank_means_scalar(self, monkeypatch, raw):
+        monkeypatch.setenv(BACKEND_ENV_VAR, raw)
+        assert backend_from_env() == "scalar"
+
+    @pytest.mark.parametrize("raw", ["scalar", "array", " Array ", "SCALAR"])
+    def test_valid_values_normalise(self, monkeypatch, raw):
+        monkeypatch.setenv(BACKEND_ENV_VAR, raw)
+        assert backend_from_env() == raw.strip().lower()
+
+    @pytest.mark.parametrize("raw", ["numpy", "arry", "fast", "0", "both"])
+    def test_bad_values_raise_naming_variable(self, monkeypatch, raw):
+        monkeypatch.setenv(BACKEND_ENV_VAR, raw)
+        with pytest.raises(ValueError, match=BACKEND_ENV_VAR):
+            backend_from_env()
+
+    def test_explicit_argument_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "array")
+        assert resolve_backend("scalar") == "scalar"
+        assert resolve_backend(None) == "array"
+
+    def test_explicit_garbage_raises(self):
+        with pytest.raises(ValueError, match="unknown simulation backend"):
+            resolve_backend("gpu")
+
+    def test_env_garbage_fails_at_run_time(self, paper72_dragonfly, monkeypatch):
+        # The error must surface where a sweep would build its engine,
+        # not only in the parsing helper.
+        from repro.network.backend import make_simulator
+        from repro.network.config import SimulationConfig
+        from repro.network.traffic import make_pattern
+        from repro.routing import make_routing
+
+        monkeypatch.setenv(BACKEND_ENV_VAR, "vector")
+        with pytest.raises(ValueError, match=BACKEND_ENV_VAR):
+            make_simulator(
+                paper72_dragonfly,
+                make_routing("MIN"),
+                make_pattern("uniform_random", paper72_dragonfly),
+                SimulationConfig(),
+            )
