@@ -49,12 +49,20 @@ Usage::
     python benchmarks/bench_simulator.py --baseline REV   # + speedup vs REV
     python benchmarks/bench_simulator.py --smoke          # CI: tiny cycle
                                                           # counts, 1 rep
+    python benchmarks/bench_simulator.py --profile        # + cProfile top-20
+                                                          # per case, to file
+    python benchmarks/bench_simulator.py --perf-gate      # CI: 1056-node A/B
+                                                          # speedup-floor gate
 
 The result is written to ``BENCH_simulator.json`` (override with
-``--output``).  The committed copy was generated with
+``--output``); the report header records the interpreter, platform and
+numpy/BLAS identity so two artifacts are never compared across silently
+different environments.  The committed copy was generated with
 ``--baseline <seed>`` against the pre-optimisation engine; CI
 regenerates a ``--smoke`` copy on every push as an artifact to prove
-the benchmark itself still runs.
+the benchmark itself still runs, and ``--perf-gate`` fails the build if
+the array backend's decide-kernel advantage at the 1056-node Figure 9
+point drops below the floor.
 """
 
 from __future__ import annotations
@@ -102,6 +110,24 @@ simulator.run()
 print(time.perf_counter() - start)
 """
 
+# Profiling child: same construction, but the run executes under
+# cProfile and the child prints the top-20 functions by cumulative time
+# instead of a wall-clock number.
+_PROFILE_CHILD_SRC = _CHILD_SRC.replace(
+    """start = time.perf_counter()
+simulator.run()
+print(time.perf_counter() - start)""",
+    """import cProfile, io, pstats
+profiler = cProfile.Profile()
+profiler.enable()
+simulator.run()
+profiler.disable()
+buffer = io.StringIO()
+pstats.Stats(profiler, stream=buffer).sort_stats("cumulative").print_stats(20)
+print(buffer.getvalue())""",
+)
+assert _PROFILE_CHILD_SRC != _CHILD_SRC, "profile child template drifted"
+
 # The Figure 5 / Figure 9 example network: p=h=2, a=4, N=72 terminals.
 PAPER_72 = {"p": 2, "a": 4, "h": 2}
 
@@ -122,7 +148,42 @@ ACCEPTANCE = {
     # The array backend's bar: the 1056-node Figure 9 point must finish
     # well inside the 5-minute CI smoke budget on the array backend.
     "paper1k_fig9_point_max_array_seconds": 300.0,
+    # The decide kernel's bar: scalar/array interleaved A/B at the
+    # 1056-node Figure 9 point.  The recorded full-mode number is the
+    # >= 1.8x claim; the CI --perf-gate floor is deliberately lower
+    # (shared runners are noisy) but still far above the pre-kernel
+    # parity (~1.0x), so a disabled or regressed kernel fails fast.
+    "paper1k_fig9_point_min_array_speedup": 1.8,
+    "perf_gate_min_array_speedup": 1.3,
 }
+
+
+def environment_info() -> dict:
+    """Interpreter / platform / numpy-BLAS identity for the report header."""
+    import platform
+
+    info = {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - numpy is baked in
+        info["numpy"] = None
+        return info
+    info["numpy"] = numpy.__version__
+    try:
+        # numpy >= 1.25; older versions only have the printing variant.
+        config = numpy.show_config(mode="dicts")
+        blas = config.get("Build Dependencies", {}).get("blas", {})
+        info["blas"] = {
+            "name": blas.get("name", "unknown"),
+            "version": blas.get("version", "unknown"),
+        }
+    except TypeError:
+        info["blas"] = "unknown"
+    return info
 
 
 def make_cases(smoke: bool) -> dict:
@@ -252,6 +313,92 @@ def time_once(pythonpath: pathlib.Path, spec: dict) -> float:
     return float(out.stdout.strip())
 
 
+def profile_once(pythonpath: pathlib.Path, spec: dict) -> str:
+    """One profiled run; returns the child's top-20 cumulative report."""
+    env = dict(os.environ, PYTHONPATH=str(pythonpath))
+    out = subprocess.run(
+        [sys.executable, "-c", _PROFILE_CHILD_SRC, json.dumps(spec)],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    if out.returncode != 0:
+        raise RuntimeError(f"profile child failed:\n{out.stderr}")
+    return out.stdout
+
+
+def run_profiles(cases, backend_cases, current_src, output: pathlib.Path):
+    """cProfile every case once, top-20 cumulative each, to one artifact."""
+    sections = []
+    for name, spec in cases.items():
+        sections.append((name, profile_once(current_src, spec)))
+        print(f"profiled {name}", flush=True)
+    for name, spec in backend_cases.items():
+        for backend in ("scalar", "array"):
+            sections.append(
+                (f"{name}[{backend}]", profile_once(current_src, dict(spec, backend=backend)))
+            )
+            print(f"profiled {name}[{backend}]", flush=True)
+    text = "\n".join(
+        f"{'=' * 72}\n{name}\n{'=' * 72}\n{body}" for name, body in sections
+    )
+    output.write_text(text)
+    print(f"wrote {output}", flush=True)
+
+
+def run_perf_gate(current_src, output: pathlib.Path, reps: int) -> int:
+    """CI gate: 1056-node Figure 9 point, interleaved scalar/array A/B.
+
+    Passes when the array point stays inside the wall-clock budget AND
+    the decide-kernel speedup clears the gate floor.  Cycle counts sit
+    between smoke and full: long enough that per-cycle advantage (not
+    process startup) dominates, short enough for every push.
+    """
+    spec = {
+        "params": PAPER_1K,
+        "routing": "UGAL-L",
+        "pattern": "worst_case",
+        "config": {
+            "warmup_cycles": 100,
+            "measure_cycles": 200,
+            "drain_max_cycles": 0,
+            "seed": 7,
+            "load": 0.2,
+        },
+    }
+    results = run_backend_ab({"paper1k_fig9_point": spec}, current_src, reps)
+    entry = results["paper1k_fig9_point"]
+    report = {
+        "schema": "repro.bench_simulator/v1",
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "generated_by": "benchmarks/bench_simulator.py --perf-gate",
+        "mode": "perf-gate",
+        "reps_per_case": reps,
+        "environment": environment_info(),
+        "backend_ab": results,
+        "acceptance": ACCEPTANCE,
+    }
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output}", flush=True)
+
+    ok = True
+    budget = ACCEPTANCE["paper1k_fig9_point_max_array_seconds"]
+    status = "ok" if entry["array_wall_time_s"] <= budget else "OVER BUDGET"
+    print(
+        f"perf-gate budget: array {entry['array_wall_time_s']:.2f}s "
+        f"(<= {budget:.0f}s): {status}"
+    )
+    ok = ok and entry["array_wall_time_s"] <= budget
+    floor = ACCEPTANCE["perf_gate_min_array_speedup"]
+    status = "ok" if entry["array_speedup"] >= floor else "BELOW FLOOR"
+    print(
+        f"perf-gate speedup: {entry['array_speedup']:.2f}x "
+        f"(>= {floor}x): {status}"
+    )
+    ok = ok and entry["array_speedup"] >= floor
+    return 0 if ok else 1
+
+
 def run_cases(cases, current_src, baseline_src, reps):
     results = {}
     for name, spec in cases.items():
@@ -314,11 +461,40 @@ def main(argv=None) -> int:
         default=REPO_ROOT / "BENCH_simulator.json",
         help="where to write the JSON report",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="additionally cProfile every case once (both backends for "
+        "the A/B cases) and write the top-20 cumulative reports to "
+        "--profile-output",
+    )
+    parser.add_argument(
+        "--profile-output",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_simulator_profile.txt",
+        help="where --profile writes its per-case reports",
+    )
+    parser.add_argument(
+        "--perf-gate",
+        action="store_true",
+        help="CI gate mode: run only the 1056-node Figure 9 scalar/array "
+        "A/B point; exit non-zero if the array wall time exceeds the "
+        "budget or the speedup falls below the gate floor",
+    )
     args = parser.parse_args(argv)
     reps = args.reps if args.reps is not None else (1 if args.smoke else 5)
 
     cases = make_cases(smoke=args.smoke)
     current_src = REPO_ROOT / "src"
+
+    if args.perf_gate:
+        return run_perf_gate(current_src, args.output, max(reps, 3))
+
+    if args.profile:
+        run_profiles(
+            cases, make_backend_cases(args.smoke), current_src,
+            args.profile_output,
+        )
 
     worktree = None
     baseline_src = None
@@ -352,6 +528,7 @@ def main(argv=None) -> int:
         "reps_per_case": reps,
         "baseline_rev": args.baseline,
         "python": sys.version.split()[0],
+        "environment": environment_info(),
         "cases": results,
         "backend_ab": backend_results,
         "acceptance": ACCEPTANCE,
@@ -371,6 +548,16 @@ def main(argv=None) -> int:
         f"(<= {budget:.0f}s): {status}"
     )
     ok = ok and array_wall <= budget
+
+    if not args.smoke:
+        speedup = backend_results["paper1k_fig9_point"]["array_speedup"]
+        bar = ACCEPTANCE["paper1k_fig9_point_min_array_speedup"]
+        status = "ok" if speedup >= bar else "BELOW BAR"
+        print(
+            f"acceptance paper1k_fig9_point speedup: {speedup:.2f}x "
+            f"(>= {bar}x): {status}"
+        )
+        ok = ok and speedup >= bar
 
     if args.baseline and not args.smoke:
         for case, key in (

@@ -146,6 +146,14 @@ class EquivalenceContract:
     accepted_load_atol: float
     #: One-line rationale, printed by the harness on failure.
     note: str
+    #: Name of the batched decide kernel the array backend will engage
+    #: on this configuration (``"decide-v1"``), or ``None`` when the
+    #: kernel stays off or eligibility was not evaluated (``contract_for``
+    #: called without topology/routing).
+    decide_kernel: Optional[str] = None
+    #: When the kernel stays off despite topology/routing being known:
+    #: the human-readable ineligibility reason the backend will log.
+    kernel_fallback: Optional[str] = None
 
 
 #: Tolerances for configurations where only statistical equivalence is
@@ -171,11 +179,36 @@ BIT_IDENTICAL = EquivalenceContract(
 )
 
 
-def contract_for(config: SimulationConfig) -> EquivalenceContract:
-    """The equivalence the array backend owes on this configuration."""
-    if config.packet_size == 1:
-        return BIT_IDENTICAL
-    return TOLERANCE
+def contract_for(
+    config: SimulationConfig,
+    topology: Optional["Dragonfly"] = None,
+    routing: Optional["RoutingAlgorithm"] = None,
+) -> EquivalenceContract:
+    """The equivalence the array backend owes on this configuration.
+
+    The strength of the promise depends only on ``config`` (single-flit
+    runs are bit-identical, multi-flit runs get the tolerance contract).
+    Passing ``topology`` and ``routing`` additionally stamps the
+    contract with the array backend's *kernel capability* on that exact
+    setup: ``decide_kernel`` names the batched decide kernel that will
+    engage, or ``kernel_fallback`` carries the ineligibility reason the
+    backend will log when it falls back to per-packet decides.  Either
+    way the equivalence promise itself is unchanged -- the kernel is an
+    implementation tier inside the same contract, and the differential
+    harness uses these fields only to assert that the tier it *thinks*
+    it is certifying is the tier that actually ran.
+    """
+    base = BIT_IDENTICAL if config.packet_size == 1 else TOLERANCE
+    if topology is None or routing is None:
+        return base
+    import dataclasses
+
+    from .decide_kernel import KERNEL_NAME, kernel_ineligibility
+
+    reason = kernel_ineligibility(config, topology, routing)
+    if reason is None:
+        return dataclasses.replace(base, decide_kernel=KERNEL_NAME)
+    return dataclasses.replace(base, kernel_fallback=reason)
 
 
 # ----------------------------------------------------------------------

@@ -147,6 +147,15 @@ class SweepCache:
             self.invalidations += 1
             self.misses += 1
             return None
+        # Provenance rides alongside the result (not in the keyed
+        # payload, so it never affects hits): entries written before it
+        # existed surface as "unknown" rather than being invalidated.
+        provenance = entry.get("provenance")
+        result.backend_info = (
+            dict(provenance)
+            if isinstance(provenance, dict)
+            else {"backend": "unknown", "kernel": "unknown"}
+        )
         self.hits += 1
         return result
 
@@ -158,6 +167,8 @@ class SweepCache:
             "key": key,
             "result": result.to_dict(),
         }
+        if result.backend_info is not None:
+            entry["provenance"] = dict(result.backend_info)
         path = self._entry_path(key)
         fd, tmp_name = tempfile.mkstemp(
             dir=self.directory, prefix=path.stem, suffix=".tmp"

@@ -1,0 +1,662 @@
+"""Batched route-decision kernel for the array backend.
+
+The scalar simulator makes one :meth:`RoutingAlgorithm.decide` call per
+injected packet -- at the Figure 9 operating points that is ~200 Python
+calls per cycle, each walking plan memos, hop caches and occupancy
+getters.  This module lowers the registry routing algorithms
+(MIN / VAL / the UGAL family) into dense integer tables so the array
+backend can resolve *every* injecting terminal's decision for a cycle
+with a handful of numpy gathers, bit-identically to the scalar path:
+
+* :class:`VectorizedMT19937` transplants the route rng's Mersenne
+  Twister state and replays ``getrandbits``-based rejection sampling in
+  blocks, so the Valiant intermediate-group draws consume the generator
+  word-for-word as the scalar inlined loop in
+  :func:`repro.routing.paths._valiant_plan_between` does;
+* :class:`DecideTables` precomputes, per ordered group pair, the unique
+  global link and the first-hop (port, VC) of both route phases for all
+  ``a`` source routers of a group, using the canonical VC assignment --
+  a decision then reduces to index arithmetic;
+* :meth:`DecideTables.batch_decide` evaluates one cycle's decisions,
+  returning per-decider candidate hops plus, for UGAL, the two queue
+  indices and hop counts of the ``q_m * H_m <= q_nm * H_nm`` comparison.
+  The comparison itself stays sequential in the caller: decisions made
+  earlier in the same cycle enqueue flits that *change* the occupancies
+  later decisions read, so the queue reads cannot be snapshotted;
+* :func:`lower_traffic` extends the same transplant to the random
+  traffic patterns (uniform random, worst case, group tornado), so a
+  cycle's destination draws -- one ``getrandbits`` rejection loop per
+  new packet in the scalar engine -- collapse into a single
+  :meth:`VectorizedMT19937.rejection_sample` call.
+
+Eligibility is deliberately conservative (:func:`kernel_ineligibility`):
+exact registry classes on the canonical single-link dragonfly with
+single-flit packets.  Anything else falls back to the per-packet path.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..routing import vc_assignment as vcs
+from ..routing.minimal import MinimalRouting
+from ..routing.paths import (
+    _INTRA_GROUP_MINIMAL,
+    memoised_minimal_plan,
+    memoised_valiant_plan,
+)
+from ..routing.tables import group_link_matrix
+from ..routing.ugal import UgalG, UgalL, UgalLCr, UgalLVc, UgalLVcH
+from ..routing.valiant import ValiantRouting
+from ..topology.dragonfly import Dragonfly
+
+#: Version tag stamped into backend provenance and
+#: :class:`~repro.network.backend.EquivalenceContract.decide_kernel`.
+#: Bump when the kernel's observable behaviour changes.
+KERNEL_NAME = "decide-v1"
+
+# ----------------------------------------------------------------------
+# Mersenne Twister transplant
+# ----------------------------------------------------------------------
+
+_N = 624
+_M = 397
+_MATRIX_A = np.uint32(0x9908B0DF)
+_UPPER = np.uint32(0x80000000)
+_LOWER = np.uint32(0x7FFFFFFF)
+
+
+class VectorizedMT19937:
+    """CPython's MT19937 stream, generated a 624-word block at a time.
+
+    Word ``j`` produced by this class is bit-identical to the ``j``-th
+    ``getrandbits(32)`` result of the :class:`random.Random` the state
+    was transplanted from, so consumers that emulate CPython's
+    ``getrandbits(k)``-based sampling (``genrand_uint32() >> (32 - k)``)
+    stay on the scalar generator's stream exactly -- including rejection
+    sampling, where the *position* after a batch must land on the word
+    following the last accepted draw.
+    """
+
+    __slots__ = ("_mt", "_pos")
+
+    def __init__(self, mt: np.ndarray, pos: int) -> None:
+        self._mt = mt.astype(np.uint32, copy=True)
+        self._pos = int(pos)
+
+    @classmethod
+    def from_python_rng(cls, rng: random.Random) -> "VectorizedMT19937":
+        """Transplant ``rng``'s state, verifying against a probe clone.
+
+        Raises :class:`ValueError` if the state is not the CPython
+        version-3 Mersenne Twister layout or the probe words disagree
+        (e.g. a ``random.Random`` subclass with different semantics).
+        """
+        state = rng.getstate()
+        if state[0] != 3 or len(state[1]) != _N + 1:
+            raise ValueError(
+                f"unsupported random.Random state version {state[0]!r}"
+            )
+        mt = np.array(state[1][:-1], dtype=np.uint32)
+        pos = state[1][-1]
+        probe = random.Random()
+        probe.setstate(state)
+        clone = cls(mt, pos)
+        for _ in range(3):
+            if clone.next_word() != probe.getrandbits(32):
+                raise ValueError("transplanted MT19937 diverged from probe")
+        return cls(mt, pos)
+
+    # -- core generator ------------------------------------------------
+
+    def _twist(self) -> None:
+        mt = self._mt
+        nxt = np.empty(_N, np.uint32)
+        # y[kk] for kk in [0, 623): old words only (kk+1 <= 623).
+        y = (mt[:-1] & _UPPER) | (mt[1:] & _LOWER)
+        f = (y >> np.uint32(1)) ^ np.where(
+            y & np.uint32(1), _MATRIX_A, np.uint32(0)
+        )
+        # mt[kk + M] is an *old* word while kk + M < N, a *new* word
+        # after -- the three slabs replicate the in-place recurrence.
+        lo = _N - _M  # 227
+        nxt[0:lo] = mt[_M:_N] ^ f[0:lo]
+        nxt[lo:2 * lo] = nxt[0:lo] ^ f[lo:2 * lo]
+        nxt[2 * lo:_N - 1] = nxt[lo:_N - 1 - lo] ^ f[2 * lo:_N - 1]
+        y_last = (mt[_N - 1] & _UPPER) | (nxt[0] & _LOWER)
+        f_last = (y_last >> np.uint32(1)) ^ (
+            _MATRIX_A if y_last & np.uint32(1) else np.uint32(0)
+        )
+        nxt[_N - 1] = nxt[_M - 1] ^ f_last
+        self._mt = nxt
+        self._pos = 0
+
+    @staticmethod
+    def _temper(y: np.ndarray) -> np.ndarray:
+        y = y ^ (y >> np.uint32(11))
+        y = y ^ ((y << np.uint32(7)) & np.uint32(0x9D2C5680))
+        y = y ^ ((y << np.uint32(15)) & np.uint32(0xEFC60000))
+        y = y ^ (y >> np.uint32(18))
+        return y
+
+    def next_word(self) -> int:
+        """One 32-bit output word (scalar; tests and probe validation)."""
+        if self._pos >= _N:
+            self._twist()
+        word = int(self._temper(self._mt[self._pos:self._pos + 1])[0])
+        self._pos += 1
+        return word
+
+    def getrandbits(self, k: int) -> int:
+        """Scalar ``getrandbits`` for ``0 < k <= 32`` (tests only)."""
+        if not 0 < k <= 32:
+            raise ValueError("k must be in (0, 32]")
+        return self.next_word() >> (32 - k)
+
+    def to_python_state(self) -> tuple:
+        """State tuple accepted by :meth:`random.Random.setstate`.
+
+        Lets callers hand the stream *back* to a scalar generator at the
+        exact position this instance reached -- the inverse of
+        :meth:`from_python_rng`, used to keep a paired scalar rng in
+        sync across kernel/non-kernel boundaries and by parity tests.
+        """
+        return (3, tuple(int(w) for w in self._mt) + (self._pos,), None)
+
+    # -- batched sampling ----------------------------------------------
+
+    def rejection_sample(self, count: int, n: int) -> np.ndarray:
+        """``count`` draws of ``getrandbits(k); retry while >= n``.
+
+        Emulates the inlined rejection loop of
+        :func:`repro.routing.paths._valiant_plan_between` (CPython's
+        ``_randbelow_with_getrandbits``): the ``j``-th accepted word of
+        the raw stream is the ``j``-th caller's draw, and the stream
+        position is committed to the word *after* the last accepted one,
+        so interleaving batched and scalar consumers is seamless.
+        """
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        k = n.bit_length()
+        shift = np.uint32(32 - k)
+        out = np.empty(count, np.int64)
+        filled = 0
+        while filled < count:
+            if self._pos >= _N:
+                self._twist()
+            vals = (self._temper(self._mt[self._pos:]) >> shift).astype(
+                np.int64
+            )
+            idx = np.nonzero(vals < n)[0]
+            need = count - filled
+            if idx.shape[0] >= need:
+                out[filled:count] = vals[idx[:need]]
+                self._pos += int(idx[need - 1]) + 1
+                filled = count
+            else:
+                out[filled:filled + idx.shape[0]] = vals[idx]
+                filled += idx.shape[0]
+                self._pos = _N
+        return out
+
+
+# ----------------------------------------------------------------------
+# Eligibility
+# ----------------------------------------------------------------------
+
+#: Exact routing classes the kernel can lower.  ``type(routing) in`` --
+#: never ``isinstance`` -- so a subclass that overrides ``decide`` or
+#: ``_occupancies`` is not silently mis-lowered.
+_KERNEL_ROUTINGS = (
+    MinimalRouting,
+    ValiantRouting,
+    UgalL,
+    UgalG,
+    UgalLVc,
+    UgalLVcH,
+    UgalLCr,
+)
+
+
+def kernel_ineligibility(config, topology, routing) -> Optional[str]:
+    """Why the decide kernel cannot run this configuration, or ``None``.
+
+    The returned string is human-readable; the array backend logs it and
+    records it on the simulator so fallbacks are never silent.
+    """
+    if getattr(config, "packet_size", 1) != 1:
+        return f"multi-flit packets (packet_size={config.packet_size})"
+    if type(topology) is not Dragonfly:
+        return (
+            f"topology {type(topology).__name__} is not the canonical "
+            "Dragonfly"
+        )
+    if type(routing) not in _KERNEL_ROUTINGS:
+        return f"routing {type(routing).__name__} has no kernel lowering"
+    if routing.kernel_decide is None:
+        return f"routing {routing.name} declares no kernel_decide"
+    if not getattr(topology, "single_link_pairs", False):
+        return "multiple global links per group pair"
+    if group_link_matrix(topology) is None:
+        return "some group pair lacks a unique global link"
+    return None
+
+
+# ----------------------------------------------------------------------
+# Traffic lowering
+# ----------------------------------------------------------------------
+
+
+class TrafficLowering:
+    """Batched replay of a traffic pattern's per-packet destination draws.
+
+    Construction transplants the pattern's ``random.Random`` into a
+    :class:`VectorizedMT19937` without advancing the source (mirroring
+    the route-rng transplant); from then on the pattern object's own rng
+    stays frozen and :meth:`batch` yields exactly the destinations the
+    scalar engine would have produced calling ``pattern(src)`` once per
+    source in order -- the lowered patterns' inlined ``getrandbits``
+    rejection loops follow the same stream discipline
+    :meth:`VectorizedMT19937.rejection_sample` replays.
+    """
+
+    __slots__ = ("stream", "_fn")
+
+    def __init__(self, stream: VectorizedMT19937, fn) -> None:
+        self.stream = stream
+        self._fn = fn
+
+    def batch(self, srcs: np.ndarray) -> np.ndarray:
+        """Destinations for ``srcs``, drawn in ascending-source order."""
+        return self._fn(self.stream, srcs)
+
+
+def lower_traffic(pattern) -> Optional[TrafficLowering]:
+    """A :class:`TrafficLowering` for ``pattern``, or ``None``.
+
+    Only the exact random pattern classes whose draw discipline is the
+    inlined ``getrandbits`` rejection loop are lowered (``type`` checks,
+    never ``isinstance``, for the same reason as ``_KERNEL_ROUTINGS``):
+    uniform random, worst case, and group tornado (a fixed-offset worst
+    case).  Every other pattern keeps the per-packet call inside the
+    injection pass -- still correct, just not batched.
+    """
+    from .traffic import GroupTornado, UniformRandom, WorstCase
+
+    inner = pattern
+    if type(pattern) is GroupTornado:
+        inner = pattern._inner
+    if type(inner) is UniformRandom:
+        n = inner.num_terminals - 1
+
+        def fn(stream: VectorizedMT19937, srcs: np.ndarray) -> np.ndarray:
+            # ``dst if dst < src else dst + 1``, vectorized.
+            draws = stream.rejection_sample(srcs.shape[0], n)
+            return draws + (draws >= srcs)
+
+    elif type(inner) is WorstCase:
+        per_group = inner._per_group
+        num_groups = inner.topology.g
+        offset = inner.group_offset
+
+        def fn(stream: VectorizedMT19937, srcs: np.ndarray) -> np.ndarray:
+            draws = stream.rejection_sample(srcs.shape[0], per_group)
+            dst_group = (srcs // per_group + offset) % num_groups
+            return dst_group * per_group + draws
+
+    else:
+        return None
+    return TrafficLowering(VectorizedMT19937.from_python_rng(inner._rng), fn)
+
+
+# ----------------------------------------------------------------------
+# Decision batch
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class DecideBatch:
+    """One cycle's lowered decisions as parallel Python lists.
+
+    ``mode[i] == 0`` means decision ``i`` is fully resolved: take
+    candidate A.  ``mode[i] == 1`` means a UGAL comparison remains: read
+    occupancies at ``qa[i]`` / ``qb[i]`` (per-VC when ``use_vc[i]``,
+    whole-port otherwise) and take A iff ``q_a * hm[i] <= q_b * hn[i]``.
+    The reads are the caller's: they must happen in terminal-visit order
+    against *live* queue state.
+
+    Candidate fields: ``port``/``vc`` is the first hop at the source
+    router (raw VC, before the vc-class offset); ``hk0``/``hk1`` are the
+    per-phase hop-table keys carried on the flit (-1 when the phase does
+    not apply); ``minimal`` mirrors ``RoutePlan.minimal``; ``key`` is
+    the plan key for :meth:`DecideTables.plan_for`.  Candidate B exists
+    only where ``mode == 1`` and is always the non-degenerate Valiant
+    candidate.
+    """
+
+    mode: List[int]
+    use_vc: List[bool]
+    qa: List[int]
+    qb: List[int]
+    hm: List[int]
+    hn: List[int]
+    a_port: List[int]
+    a_vc: List[int]
+    a_hk0: List[int]
+    a_hk1: List[int]
+    a_min: List[bool]
+    a_key: List[int]
+    b_port: List[int]
+    b_vc: List[int]
+    b_hk0: List[int]
+    b_hk1: List[int]
+    b_key: List[int]
+
+
+_ZERO = np.int64(0)
+
+
+class DecideTables:
+    """Dense lowering of one (topology, routing, VC assignment) triple.
+
+    Hop tables are keyed by *ordered group pair* and source-router local
+    index, not by router -- ``O(g^2 a)`` entries instead of ``O(N g)``,
+    which keeps the 16k-terminal machines in cache:
+
+    ``hop0_port[(pair * 2 + m) * a + li]``
+        First-phase hop (toward ``pair``'s global link) for a flit at
+        local index ``li`` of the pair's source group; ``m`` is the
+        plan's ``minimal`` flag (the port is identical for both, the VC
+        differs).
+    ``hop1_port[pair2 * a + li]``
+        Second Valiant phase toward ``pair2 = ig * g + dg``'s link.
+
+    The final phase (and intra-group routes) needs no table: the local
+    port is ``p + dl - (dl > sl)`` and ejection is ``dst % p``.
+    """
+
+    def __init__(
+        self,
+        topology: Dragonfly,
+        routing,
+        num_vcs: int,
+        assignment: vcs.VcAssignment = vcs.CANONICAL,
+    ) -> None:
+        matrix = group_link_matrix(topology)
+        if matrix is None:
+            raise ValueError(
+                "decide tables require a unique global link per group pair"
+            )
+        self.topology = topology
+        self.kind: str = routing.kernel_decide
+        self.signal: Optional[str] = routing.kernel_signal
+        if self.kind not in ("min", "val", "ugal"):
+            raise ValueError(f"unknown kernel_decide {self.kind!r}")
+        if self.kind == "ugal" and self.signal not in (
+            "port", "remote", "vc", "vc_hybrid",
+        ):
+            raise ValueError(f"unknown kernel_signal {self.signal!r}")
+        g = topology.g
+        a = topology.a
+        p = topology.p
+        radix = topology.params.radix
+        self.g = g
+        self.a = a
+        self.p = p
+        self.radix = radix
+        self.num_vcs = int(num_vcs)
+        self.final_local_vc = assignment.final_local_vc
+
+        # Unique link per ordered pair, flattened row-major (diagonal 0s
+        # are never indexed: pairs are only formed from distinct groups).
+        L_src = np.zeros(g * g, np.int64)
+        L_sport = np.zeros(g * g, np.int64)
+        L_dst = np.zeros(g * g, np.int64)
+        for sg in range(g):
+            for dg in range(g):
+                link = matrix[sg][dg]
+                if link is not None:
+                    L_src[sg * g + dg] = link.src_router
+                    L_sport[sg * g + dg] = link.src_port
+                    L_dst[sg * g + dg] = link.dst_router
+        self.L_src = L_src
+        self.L_sport = L_sport
+        self.L_dst = L_dst
+        #: Flat ``_pending`` index of each pair's global channel at its
+        #: own router -- the UGAL-G oracle read.
+        self.L_qidx = L_src * radix + L_sport
+
+        # First-phase hop tables, built without a per-router Python
+        # loop: for pair (sg, tg) and local index li of group sg, the
+        # hop is the link's own port when the router *is* the gateway,
+        # else the local port toward it.
+        li = np.arange(a, dtype=np.int64)
+        gli = (L_src % a).reshape(g, g, 1)
+        gateway = gli == li.reshape(1, 1, a)
+        lp = p + gli - (gli > li.reshape(1, 1, a))
+        port = np.where(gateway, L_sport.reshape(g, g, 1), lp)
+
+        def vc_table(minimal: bool, phase: int) -> np.ndarray:
+            return np.where(
+                gateway,
+                np.int64(assignment.global_vc(minimal, phase)),
+                np.int64(assignment.local_vc(minimal, phase)),
+            )
+
+        # Layout (g, g, 2, a) -> flat, m-axis ordered [nonminimal,
+        # minimal] to match key = pair * 2 + minimal.
+        self.hop0_port = np.repeat(
+            port[:, :, None, :], 2, axis=2
+        ).reshape(-1).copy()
+        self.hop0_vc = np.stack(
+            [vc_table(False, 0), vc_table(True, 0)], axis=2
+        ).reshape(-1).copy()
+        # Second Valiant phase: same ports, phase-1 nonminimal VCs.
+        self.hop1_port = port.reshape(-1).copy()
+        self.hop1_vc = vc_table(False, 1).reshape(-1).copy()
+
+        # Plan objects by key, for the paths that still need a
+        # RoutePlan (blocked-injection retries, sanitizer views).  The
+        # minimal list is prebuilt (g^2 small); Valiant plans populate
+        # lazily through the same per-topology memo the scalar path
+        # uses, so both backends intern identical objects.
+        self._min_plans: List[Optional[object]] = [None] * (g * g)
+        for sg in range(g):
+            for dg in range(g):
+                if sg != dg and matrix[sg][dg] is not None:
+                    self._min_plans[sg * g + dg] = memoised_minimal_plan(
+                        topology, sg, dg
+                    )
+        self._val_plans: Dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+
+    def plan_for(self, key: int, minimal: bool):
+        """The interned :class:`RoutePlan` behind a candidate key."""
+        if key < 0:
+            return _INTRA_GROUP_MINIMAL
+        if minimal:
+            return self._min_plans[key]
+        plan = self._val_plans.get(key)
+        if plan is None:
+            g = self.g
+            dg = key % g
+            sg_ig = key // g
+            plan = memoised_valiant_plan(
+                self.topology, sg_ig // g, sg_ig % g, dg
+            )
+            self._val_plans[key] = plan
+        return plan
+
+    def first_hop_arrays(
+        self,
+        srcs: np.ndarray,
+        dstr: np.ndarray,
+        dsts: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Final-phase first hop: intra-group (or degenerate) routes."""
+        same = dstr == srcs
+        dl = dstr % self.a
+        sl = srcs % self.a
+        port = np.where(
+            same, dsts % self.p, self.p + dl - (dl > sl)
+        )
+        vc = np.where(same, _ZERO, np.int64(self.final_local_vc))
+        return port, vc
+
+    def batch_decide(
+        self,
+        stream: Optional[VectorizedMT19937],
+        srcs: np.ndarray,
+        dsts: np.ndarray,
+        dstr: np.ndarray,
+    ) -> DecideBatch:
+        """Lower one cycle's decisions (terminal-visit order).
+
+        ``stream`` supplies the Valiant intermediate-group draws; it is
+        consumed only for inter-group deciders under VAL/UGAL, exactly
+        one accepted rejection-sample per such decider, in order.
+        """
+        g = self.g
+        a = self.a
+        n = srcs.shape[0]
+        sg = srcs // a
+        dg = dstr // a
+        sli = srcs % a
+        inter = sg != dg
+        pair = sg * g + dg
+
+        f_port, f_vc = self.first_hop_arrays(srcs, dstr, dsts)
+
+        # Minimal candidate first hop (garbage on intra rows, masked).
+        idx_min = (pair * 2 + 1) * a + sli
+        m_port = self.hop0_port[idx_min]
+        m_vc = self.hop0_vc[idx_min]
+
+        kind = self.kind
+        none_i = np.full(n, -1, dtype=np.int64)
+        zeros = np.zeros(n, dtype=np.int64)
+
+        if kind == "min":
+            a_port = np.where(inter, m_port, f_port)
+            a_vc = np.where(inter, m_vc, f_vc)
+            a_hk0 = np.where(inter, pair * 2 + 1, none_i)
+            a_key = np.where(inter, pair, none_i)
+            return DecideBatch(
+                mode=zeros.tolist(),
+                use_vc=[False] * n,
+                qa=zeros.tolist(), qb=zeros.tolist(),
+                hm=zeros.tolist(), hn=zeros.tolist(),
+                a_port=a_port.tolist(), a_vc=a_vc.tolist(),
+                a_hk0=a_hk0.tolist(), a_hk1=none_i.tolist(),
+                a_min=[True] * n, a_key=a_key.tolist(),
+                b_port=zeros.tolist(), b_vc=zeros.tolist(),
+                b_hk0=zeros.tolist(), b_hk1=zeros.tolist(),
+                b_key=zeros.tolist(),
+            )
+
+        # VAL and UGAL: draw an intermediate group for every inter-group
+        # decider, in visit order.
+        ig_full = np.zeros(n, dtype=np.int64)
+        if g >= 2:
+            ridx = np.nonzero(inter)[0]
+            if ridx.shape[0]:
+                draws = stream.rejection_sample(int(ridx.shape[0]), g - 1)
+                ig = draws + (draws >= sg[ridx])
+                ig_full[ridx] = ig
+        degenerate = inter & (ig_full == dg)
+        nonmin = inter & ~degenerate
+        pair1 = sg * g + ig_full
+        pair2 = ig_full * g + dg
+        idx_nm = (pair1 * 2) * a + sli
+        n_port = self.hop0_port[idx_nm]
+        n_vc = self.hop0_vc[idx_nm]
+        nm_key = pair1 * g + dg
+
+        if kind == "val":
+            a_port = np.where(nonmin, n_port, np.where(inter, m_port, f_port))
+            a_vc = np.where(nonmin, n_vc, np.where(inter, m_vc, f_vc))
+            a_hk0 = np.where(
+                nonmin, pair1 * 2, np.where(inter, pair * 2 + 1, none_i)
+            )
+            a_hk1 = np.where(nonmin, pair2, none_i)
+            a_key = np.where(nonmin, nm_key, np.where(inter, pair, none_i))
+            return DecideBatch(
+                mode=zeros.tolist(),
+                use_vc=[False] * n,
+                qa=zeros.tolist(), qb=zeros.tolist(),
+                hm=zeros.tolist(), hn=zeros.tolist(),
+                a_port=a_port.tolist(), a_vc=a_vc.tolist(),
+                a_hk0=a_hk0.tolist(), a_hk1=a_hk1.tolist(),
+                a_min=(~nonmin).tolist(), a_key=a_key.tolist(),
+                b_port=zeros.tolist(), b_vc=zeros.tolist(),
+                b_hk0=zeros.tolist(), b_hk1=zeros.tolist(),
+                b_key=zeros.tolist(),
+            )
+
+        # UGAL: candidate A is always the minimal plan (the resolved
+        # choice on intra and degenerate rows); candidate B and the
+        # queue comparison exist on non-degenerate inter rows.
+        mode = nonmin
+        a_port = np.where(inter, m_port, f_port)
+        a_vc = np.where(inter, m_vc, f_vc)
+        a_hk0 = np.where(inter, pair * 2 + 1, none_i)
+        a_key = np.where(inter, pair, none_i)
+
+        hm = (
+            1
+            + (self.L_src[pair] != srcs)
+            + (self.L_dst[pair] != dstr)
+        )
+        hn = (
+            2
+            + (self.L_src[pair1] != srcs)
+            + (self.L_dst[pair1] != self.L_src[pair2])
+            + (self.L_dst[pair2] != dstr)
+        )
+
+        signal = self.signal
+        radix = self.radix
+        nv = self.num_vcs
+        if signal == "port":
+            qa = srcs * radix + m_port
+            qb = srcs * radix + n_port
+            use_vc = [False] * n
+        elif signal == "remote":
+            qa = self.L_qidx[pair]
+            qb = self.L_qidx[pair1]
+            use_vc = [False] * n
+        elif signal == "vc":
+            qa = (srcs * radix + m_port) * nv + m_vc
+            qb = (srcs * radix + n_port) * nv + n_vc
+            use_vc = [True] * n
+        else:  # vc_hybrid
+            shared = m_port == n_port
+            qa = np.where(
+                shared,
+                (srcs * radix + m_port) * nv + m_vc,
+                srcs * radix + m_port,
+            )
+            qb = np.where(
+                shared,
+                (srcs * radix + n_port) * nv + n_vc,
+                srcs * radix + n_port,
+            )
+            use_vc = shared.tolist()
+
+        return DecideBatch(
+            mode=mode.astype(np.int64).tolist(),
+            use_vc=use_vc,
+            qa=qa.tolist(), qb=qb.tolist(),
+            hm=hm.astype(np.int64).tolist(), hn=hn.astype(np.int64).tolist(),
+            a_port=a_port.tolist(), a_vc=a_vc.tolist(),
+            a_hk0=a_hk0.tolist(), a_hk1=none_i.tolist(),
+            a_min=[True] * n, a_key=a_key.tolist(),
+            b_port=n_port.tolist(), b_vc=n_vc.tolist(),
+            b_hk0=(pair1 * 2).tolist(), b_hk1=pair2.tolist(),
+            b_key=nm_key.tolist(),
+        )

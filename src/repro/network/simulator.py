@@ -532,6 +532,14 @@ class Simulator:
     # ------------------------------------------------------------------
     # Run loop
     # ------------------------------------------------------------------
+    def backend_provenance(self) -> Dict[str, str]:
+        """Engine identity stamped on every result (see ``backend_info``).
+
+        The array backend overrides this to report its kernel variant
+        and, when the decide kernel is bypassed, the fallback reason.
+        """
+        return {"backend": "scalar", "kernel": "none"}
+
     def run(self) -> SimulationResult:
         config = self.config
         limit = self._measure_end + config.drain_max_cycles
@@ -582,6 +590,7 @@ class Simulator:
             warmup_cycles=config.warmup_cycles,
             total_cycles=self.now + 1,
             avg_source_queue_at_end=self._source_queue_at_end,
+            backend_info=self.backend_provenance(),
         )
 
     # ------------------------------------------------------------------

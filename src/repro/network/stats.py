@@ -51,6 +51,15 @@ class SimulationResult:
     #: closed -- the cleanest saturation indicator (grows without bound
     #: beyond capacity, stays O(1) below it).
     avg_source_queue_at_end: float = 0.0
+    #: Which engine produced this result (``{"backend": ..., "kernel":
+    #: ...}``, plus ``"kernel_fallback"`` when the decide kernel was
+    #: bypassed) -- pure provenance, so excluded from equality: the
+    #: whole point of the backend contract is that scalar and array
+    #: results compare equal.  Not part of :meth:`to_dict` either; the
+    #: sweep cache stores it alongside the result instead.
+    backend_info: Optional[Dict[str, str]] = field(
+        default=None, compare=False, repr=False
+    )
 
     # ------------------------------------------------------------------
     # Latency

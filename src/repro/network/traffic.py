@@ -245,6 +245,68 @@ class TorusTornado:
         return dst_router * concentration + self._rng.randrange(concentration)
 
 
+class BurstyInterGroup:
+    """Bursty inter-group traffic: each source streams to one random
+    remote group for a burst, then redraws.
+
+    Every source keeps a current destination group (never its own) and
+    sends ``burst_length`` consecutive packets into it, choosing a
+    uniformly random terminal inside the group per packet, before
+    redrawing the group.  The result is adversarial in a way uniform
+    random is not -- during a burst a source's minimal path pins the one
+    global channel towards its burst group -- while still shifting the
+    load around, so adaptive routing's per-packet decisions flip
+    mid-stream.  Built as a decide-heavy stressor for the batched
+    route-decision kernel: group popularity (and hence the UGAL queue
+    comparison) changes on burst boundaries rather than per packet.
+    """
+
+    name = "bursty"
+
+    def __init__(self, topology, seed: int = 1, burst_length: int = 8) -> None:
+        if topology.g < 2:
+            raise ValueError("bursty inter-group traffic needs >= 2 groups")
+        if burst_length < 1:
+            raise ValueError("burst_length must be >= 1")
+        self.topology = topology
+        self.burst_length = burst_length
+        self._rng = random.Random(seed)
+        params = getattr(topology, "params", None)
+        if params is not None:
+            self._per_group = params.terminals_per_group
+        else:
+            self._per_group = topology.terminals_per_group
+        # Per-source burst state, created lazily on first send so the
+        # RNG stream depends only on the order of draws, not on N.
+        self._burst_group: Dict[int, int] = {}
+        self._remaining: Dict[int, int] = {}
+
+    def __call__(self, src_terminal: int) -> int:
+        per_group = self._per_group
+        g = self.topology.g
+        left = self._remaining.get(src_terminal, 0)
+        if left == 0:
+            # Redraw the burst group: uniform over the g-1 other groups
+            # (inlined randrange, state-identical to UniformRandom).
+            src_group = src_terminal // per_group
+            n = g - 1
+            getrandbits = self._rng.getrandbits
+            k = n.bit_length()
+            r = getrandbits(k)
+            while r >= n:
+                r = getrandbits(k)
+            self._burst_group[src_terminal] = r if r < src_group else r + 1
+            left = self.burst_length
+        self._remaining[src_terminal] = left - 1
+        dst_group = self._burst_group[src_terminal]
+        getrandbits = self._rng.getrandbits
+        k = per_group.bit_length()
+        r = getrandbits(k)
+        while r >= per_group:
+            r = getrandbits(k)
+        return dst_group * per_group + r
+
+
 class RandomPermutation:
     """A fixed random permutation drawn once at construction."""
 
@@ -288,6 +350,7 @@ def make_pattern(
         "shift": lambda: Shift(n, **kwargs) if kwargs else Shift(n, offset=n // 2),
         "hotspot": lambda: Hotspot(n, seed=seed, **kwargs),
         "random_permutation": lambda: RandomPermutation(n, seed=seed),
+        "bursty": lambda: BurstyInterGroup(topology, seed=seed, **kwargs),
         "fb_adversarial": lambda: FbAdversarial(topology, seed=seed, **kwargs),
         "torus_tornado": lambda: TorusTornado(topology, seed=seed, **kwargs),
     }

@@ -53,6 +53,19 @@ class RoutingAlgorithm(abc.ABC):
     #: True for UGAL-L_CR: the simulator enables the credit round-trip
     #: congestion sensing and delayed-credit backpressure mechanism.
     needs_credit_delay: bool = False
+    #: Decide-kernel lowering metadata (:mod:`repro.network.decide_kernel`).
+    #: ``kernel_decide`` names the decision structure the batched kernel
+    #: can reproduce ("min" / "val" / "ugal"); ``kernel_signal`` names
+    #: which occupancy feeds the UGAL comparison ("port" = first-hop
+    #: whole port at the source, "remote" = the candidate global channel
+    #: at its own router, "vc" = first-hop VC, "vc_hybrid" = VC when the
+    #: candidates share a port, whole port otherwise).  ``None`` means no
+    #: lowering exists and the array backend falls back to calling
+    #: ``decide`` per packet.  Declared on the exact registry classes
+    #: only -- a subclass overriding behaviour is deliberately not
+    #: trusted by the kernel's eligibility check.
+    kernel_decide: str | None = None
+    kernel_signal: str | None = None
 
     @abc.abstractmethod
     def decide(

@@ -19,6 +19,7 @@ from .paths import minimal_plan
 
 class MinimalRouting(RoutingAlgorithm):
     name = "MIN"
+    kernel_decide = "min"
 
     def decide(
         self,

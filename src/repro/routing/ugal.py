@@ -57,6 +57,8 @@ from .paths import (
 class _UgalBase(RoutingAlgorithm):
     """Shared candidate construction and comparison logic."""
 
+    kernel_decide = "ugal"
+
     @staticmethod
     def _first_hop(
         topology: Dragonfly,
@@ -150,6 +152,7 @@ class UgalL(_UgalBase):
     """UGAL with local whole-port queue information (conventional UGAL)."""
 
     name = "UGAL-L"
+    kernel_signal = "port"
 
     def _occupancies(self, view, topology, src_router, dst_terminal,
                      min_candidate, nm_candidate):
@@ -165,6 +168,7 @@ class UgalG(_UgalBase):
     """Ideal UGAL: reads the candidate global channels' queues directly."""
 
     name = "UGAL-G"
+    kernel_signal = "remote"
 
     def _occupancies(self, view, topology, src_router, dst_terminal,
                      min_candidate, nm_candidate):
@@ -181,6 +185,7 @@ class UgalLVc(_UgalBase):
     """UGAL-L with per-VC queue discrimination on every decision."""
 
     name = "UGAL-L_VC"
+    kernel_signal = "vc"
 
     def _occupancies(self, view, topology, src_router, dst_terminal,
                      min_candidate, nm_candidate):
@@ -196,6 +201,7 @@ class UgalLVcH(_UgalBase):
     """Hybrid: per-VC occupancy only when the candidates share a port."""
 
     name = "UGAL-L_VCH"
+    kernel_signal = "vc_hybrid"
 
     def _occupancies(self, view, topology, src_router, dst_terminal,
                      min_candidate, nm_candidate):

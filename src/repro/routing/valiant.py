@@ -19,6 +19,7 @@ from .paths import valiant_plan
 
 class ValiantRouting(RoutingAlgorithm):
     name = "VAL"
+    kernel_decide = "val"
 
     def decide(
         self,

@@ -183,6 +183,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         max_load=args.max_load,
         seed=args.seed,
         digest=args.digest,
+        backend=args.backend,
     )
     if args.json:
         print(json.dumps([point.to_row() for point in points], indent=2))
@@ -256,6 +257,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     query.add_argument("--max-load", type=float)
     query.add_argument("--seed", type=int)
     query.add_argument("--digest", help="digest prefix")
+    query.add_argument(
+        "--backend",
+        help="filter by producing engine (scalar, array, unknown)",
+    )
     query.add_argument("--json", action="store_true")
     query.set_defaults(func=_cmd_query)
 

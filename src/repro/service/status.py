@@ -135,17 +135,24 @@ def render_query_rows(points: List[StoredPoint]) -> str:
         return "no matching points"
     header = (
         f"{'figure(s)':20s} {'routing':12s} {'pattern':14s} "
-        f"{'load':>6s} {'seed':>6s} {'latency':>9s} {'accepted':>9s}  digest"
+        f"{'load':>6s} {'seed':>6s} {'latency':>9s} {'accepted':>9s} "
+        f"{'engine':16s} digest"
     )
     lines = [header]
     for point in points:
         latency = (
             "inf" if math.isinf(point.avg_latency) else f"{point.avg_latency:.3f}"
         )
+        engine = (
+            point.backend
+            if point.kernel in ("none", "unknown")
+            else f"{point.backend}/{point.kernel}"
+        )
         lines.append(
             f"{','.join(point.figures):20s} {point.routing:12s} "
             f"{point.pattern:14s} {point.load:6.3f} {point.seed:6d} "
-            f"{latency:>9s} {point.accepted_load:9.3f}  {point.digest[:16]}"
+            f"{latency:>9s} {point.accepted_load:9.3f} {engine:16s} "
+            f"{point.digest[:16]}"
         )
     return "\n".join(lines)
 

@@ -56,6 +56,11 @@ class StoredPoint:
     saturated: bool
     avg_latency: float
     accepted_load: float
+    #: Engine provenance: which backend computed the point and, for the
+    #: array backend, which kernel variant ("unknown" for records
+    #: written before provenance existed).
+    backend: str = "unknown"
+    kernel: str = "unknown"
     _store: Optional["ResultStore"] = None
     _key: Optional[Dict[str, object]] = None
 
@@ -83,6 +88,8 @@ class StoredPoint:
             "saturated": self.saturated,
             "avg_latency": self.avg_latency,
             "accepted_load": self.accepted_load,
+            "backend": self.backend,
+            "kernel": self.kernel,
         }
 
 
@@ -162,6 +169,7 @@ class ResultStore:
         max_load: Optional[float] = None,
         seed: Optional[int] = None,
         digest: Optional[str] = None,
+        backend: Optional[str] = None,
         predicate: Optional[Callable[[StoredPoint], bool]] = None,
     ) -> List[StoredPoint]:
         """Indexed points matching every given filter (no simulation).
@@ -190,6 +198,8 @@ class ResultStore:
             if seed is not None and point.seed != seed:
                 continue
             if digest is not None and not point_digest.startswith(digest):
+                continue
+            if backend is not None and point.backend != backend:
                 continue
             if predicate is not None and not predicate(point):
                 continue
@@ -241,6 +251,9 @@ class ResultStore:
             except (KeyError, TypeError, ValueError):
                 corrupt += 1
                 continue
+            provenance = entry.get("provenance")
+            if isinstance(provenance, dict):
+                result.backend_info = dict(provenance)
             digest = path.stem
             record = self._entry_from_key(key, result)
             previous = old_index.get(digest)
@@ -292,6 +305,7 @@ class ResultStore:
             value = result.avg_latency
             if not math.isnan(value):
                 avg_latency = value
+        provenance = result.backend_info or {}
         return {
             "routing": key.get("routing"),
             "vc_assignment": key.get("vc_assignment"),
@@ -302,6 +316,8 @@ class ResultStore:
             "saturated": result.saturated,
             "avg_latency": avg_latency,
             "accepted_load": result.accepted_load,
+            "backend": str(provenance.get("backend", "unknown")),
+            "kernel": str(provenance.get("kernel", "unknown")),
             "key": key,
         }
 
@@ -324,6 +340,8 @@ class ResultStore:
                     float("inf") if avg_latency is None else float(avg_latency)  # type: ignore[arg-type]
                 ),
                 accepted_load=float(entry["accepted_load"]),  # type: ignore[arg-type]
+                backend=str(entry.get("backend", "unknown")),
+                kernel=str(entry.get("kernel", "unknown")),
                 _store=self,
                 _key=dict(entry.get("key") or {}),  # type: ignore[arg-type]
             )

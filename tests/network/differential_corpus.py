@@ -1,14 +1,16 @@
 """The backend-differential corpus.
 
-184 simulation configurations, generated programmatically, that the
+199 simulation configurations, generated programmatically, that the
 scalar and array engines must agree on under the equivalence contract
 (:func:`repro.network.backend.contract_for`).  The corpus is the
 certification artifact for the array backend: it sweeps every routing
 algorithm over benign and adversarial traffic on two topologies, and
 covers every engine mode with its own block -- saturation, multi-flit
 virtual cut-through, request-reply VC classes, bulk (fixed packet
-count) termination, table-driven forwarding, seed variation, and a
-non-zero router pipeline.
+count) termination, table-driven forwarding, seed variation, a
+non-zero router pipeline, and a decide-dominated block (adversarial +
+bursty traffic, every UGAL variant, including the paper's 1056-node
+shape) certifying the batched route-decision kernel.
 
 Kept importable on its own (no pytest dependency) so the harness, the
 Hypothesis fuzzer and ad-hoc scripts can all iterate the same cases.
@@ -29,6 +31,10 @@ from repro.routing import ALL_ROUTING_NAMES
 TOPOLOGIES: Dict[str, DragonflyParams] = {
     "tiny": DragonflyParams(p=1, a=2, h=1),
     "paper72": DragonflyParams.paper_example_72(),
+    # The paper's default scale (N=1056): the shape the decide kernel
+    # exists for.  Only the "decide" block uses it -- with short
+    # windows, so certification stays minutes, not hours.
+    "paper1k": DragonflyParams.paper_1k(),
 }
 
 #: Short windows: the corpus certifies state-machine equivalence, not
@@ -162,6 +168,30 @@ def _build_corpus() -> List[DifferentialCase]:
                 _config(load=0.2, router_pipeline_cycles=2),
             )
 
+    # Block "decide": decide-dominated certification for the batched
+    # route-decision kernel.  Adversarial traffic keeps the UGAL
+    # minimal/non-minimal comparison live (both queue reads matter and
+    # Valiant draws burn the route RNG), and the bursty inter-group
+    # pattern flips the congested group mid-run so table-lowered
+    # first-hop decisions are exercised across many (source, dest-group)
+    # pairs.  Every UGAL variant on paper72, 5*2 = 10; plus the paper's
+    # 1056-node shape -- the scale the kernel exists for -- with short
+    # windows so the scalar reference stays affordable.  5.
+    ugal_variants = tuple(
+        name for name in ALL_ROUTING_NAMES if name.startswith("UGAL")
+    )
+    for routing in ugal_variants:
+        for pattern in ("worst_case", "bursty"):
+            add("decide", "paper72", routing, pattern, _config(load=0.4))
+    for routing in ugal_variants:
+        add(
+            "decide", "paper1k", routing, "worst_case",
+            _config(
+                load=0.3, warmup_cycles=10, measure_cycles=10,
+                drain_max_cycles=800,
+            ),
+        )
+
     # Block "seed": RNG-stream variation on one contended case.  3.
     for seed in (11, 12, 13):
         add(
@@ -176,7 +206,7 @@ CORPUS: Tuple[DifferentialCase, ...] = tuple(_build_corpus())
 
 # The corpus is a certification surface; its size is pinned so a block
 # cannot silently shrink during a refactor.
-assert len(CORPUS) == 184, f"corpus size drifted: {len(CORPUS)}"
+assert len(CORPUS) == 199, f"corpus size drifted: {len(CORPUS)}"
 assert len({case.case_id for case in CORPUS}) == len(CORPUS), (
     "duplicate corpus case ids"
 )

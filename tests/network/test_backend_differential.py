@@ -1,6 +1,6 @@
 """Backend-differential harness: scalar vs array engine equivalence.
 
-Every corpus case (``differential_corpus.CORPUS``, 184 configurations)
+Every corpus case (``differential_corpus.CORPUS``, 199 configurations)
 and every golden fixture runs on both backends; the array engine must
 honour the equivalence contract declared for the configuration by
 :func:`repro.network.backend.contract_for` -- bit-identity for
@@ -86,7 +86,26 @@ def run_case(case: DifferentialCase, backend: str):
         case.config,
         backend=backend,
     )
-    return sim.run()
+    result = sim.run()
+    if backend == "array":
+        # The tier the harness thinks it is certifying must be the tier
+        # that actually ran: the capability stamped on the contract has
+        # to match the provenance the engine recorded.
+        contract = contract_for(
+            case.config, topology_for(case.topology), routing_for(case)
+        )
+        info = result.backend_info or {}
+        expected = contract.decide_kernel or "none"
+        assert info.get("kernel") == expected, (
+            f"{case.case_id}: contract expects kernel {expected!r} but the "
+            f"array engine recorded {info!r}"
+            + (
+                f" (contract fallback: {contract.kernel_fallback})"
+                if contract.kernel_fallback
+                else ""
+            )
+        )
+    return result
 
 
 def scalar_reference(case: DifferentialCase):

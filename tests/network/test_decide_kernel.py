@@ -1,0 +1,436 @@
+"""Unit tests for the batched route-decision kernel.
+
+The backend-differential corpus certifies the kernel end to end; these
+tests pin its components in isolation so a regression is reported at
+the layer that broke, not as a whole-run divergence:
+
+* the Mersenne-Twister transplant reproduces CPython's stream word for
+  word, including rejection sampling and position hand-back;
+* the lowered hop tables agree with :func:`repro.routing.paths.next_hop`;
+* :meth:`DecideTables.batch_decide` resolves to exactly the decision the
+  scalar :meth:`RoutingAlgorithm.decide` makes, for every registry
+  routing, against a shared synthetic congestion state;
+* eligibility is conservative, fallbacks are logged, and provenance
+  reports the tier that ran.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.params import DragonflyParams
+from repro.network.backend import contract_for, make_simulator
+from repro.network.config import SimulationConfig
+from repro.network.decide_kernel import (
+    KERNEL_NAME,
+    DecideTables,
+    VectorizedMT19937,
+    kernel_ineligibility,
+    lower_traffic,
+)
+from repro.network.traffic import make_pattern
+from repro.routing import ALL_ROUTING_NAMES, make_routing
+from repro.routing.minimal import MinimalRouting
+from repro.routing.paths import memoised_valiant_plan, next_hop
+from repro.topology.dragonfly import Dragonfly
+
+TOPOLOGY = Dragonfly(DragonflyParams.paper_example_72())
+
+BASE_CONFIG = SimulationConfig(
+    load=0.2,
+    seed=11,
+    warmup_cycles=30,
+    measure_cycles=30,
+    drain_max_cycles=1500,
+)
+
+
+# ----------------------------------------------------------------------
+# Mersenne Twister transplant
+# ----------------------------------------------------------------------
+class TestVectorizedMT19937:
+    def test_word_stream_matches_cpython(self):
+        # Two full twist generations (624 words each) so the 3-slab
+        # vectorized recurrence is exercised across its boundaries.
+        rng = random.Random(123)
+        mt = VectorizedMT19937.from_python_rng(rng)
+        for _ in range(1500):
+            assert mt.getrandbits(32) == rng.getrandbits(32)
+
+    def test_transplant_does_not_advance_source(self):
+        rng = random.Random(5)
+        before = rng.getstate()
+        VectorizedMT19937.from_python_rng(rng)
+        assert rng.getstate() == before
+
+    def test_getrandbits_truncation(self):
+        rng = random.Random(99)
+        mt = VectorizedMT19937.from_python_rng(rng)
+        for k in (1, 5, 8, 13, 32, 6, 6, 6):
+            assert mt.getrandbits(k) == rng.getrandbits(k)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 32, 33, 71, 623, 624, 1000])
+    def test_rejection_sample_matches_scalar(self, n):
+        rng = random.Random(777)
+        mt = VectorizedMT19937.from_python_rng(rng)
+        draws = mt.rejection_sample(2000, n)
+        # The scalar reference: the inlined rejection loop of
+        # _valiant_plan_between / Random._randbelow_with_getrandbits.
+        k = n.bit_length()
+        for j in range(2000):
+            r = rng.getrandbits(k)
+            while r >= n:
+                r = rng.getrandbits(k)
+            assert int(draws[j]) == r, f"draw {j} diverged"
+
+    def test_rejection_sample_commits_exact_position(self):
+        # After a batch, the stream must stand on the word *after* the
+        # last accepted one: interleaved scalar consumption stays
+        # identical to a generator that did everything scalar-side.
+        rng = random.Random(31)
+        mt = VectorizedMT19937.from_python_rng(rng)
+        n = 33  # forces rejections (k = 6, reject 33..63)
+        for j in range(50):
+            r = rng.getrandbits(n.bit_length())
+            while r >= n:
+                r = rng.getrandbits(n.bit_length())
+            assert int(mt.rejection_sample(1, n)[0]) == r
+            # A few raw words in between, both sides.
+            for _ in range(j % 3):
+                assert mt.getrandbits(32) == rng.getrandbits(32)
+
+    def test_to_python_state_roundtrip(self):
+        rng = random.Random(8)
+        mt = VectorizedMT19937.from_python_rng(rng)
+        mt.rejection_sample(700, 5)  # crosses a twist boundary
+        back = random.Random()
+        back.setstate(mt.to_python_state())
+        # Advance the scalar reference by the same number of raw words
+        # the batch consumed, then both must continue identically.
+        clone = random.Random(8)
+        consumed = 0
+        accepted = 0
+        while accepted < 700:
+            if clone.getrandbits(3) < 5:
+                accepted += 1
+            consumed += 1
+        for _ in range(100):
+            assert back.getrandbits(32) == clone.getrandbits(32)
+
+    def test_rejection_sample_rejects_bad_n(self):
+        mt = VectorizedMT19937.from_python_rng(random.Random(1))
+        with pytest.raises(ValueError):
+            mt.rejection_sample(1, 0)
+
+    def test_rejects_non_mt_state(self):
+        class NotMT(random.Random):
+            def getstate(self):
+                return (2, (0,) * 625, None)
+
+        with pytest.raises(ValueError):
+            VectorizedMT19937.from_python_rng(NotMT())
+
+
+# ----------------------------------------------------------------------
+# Hop tables vs the scalar next-hop executor
+# ----------------------------------------------------------------------
+class TestHopTables:
+    def test_tables_match_next_hop(self):
+        topo = TOPOLOGY
+        tables = DecideTables(topo, make_routing("UGAL-L"), BASE_CONFIG.num_vcs)
+        a, g, p = topo.a, topo.g, topo.p
+        rng = random.Random(0)  # never consumed on single-link pairs
+        for sg in range(g):
+            for dg in range(g):
+                if sg == dg:
+                    continue
+                dst_terminal = (dg * a) * p  # first terminal of dg
+                pair = sg * g + dg
+                for li in range(a):
+                    src_router = sg * a + li
+                    # Minimal first hop (m = 1).
+                    plan = tables.plan_for(pair, True)
+                    want = next_hop(topo, src_router, plan, 0, dst_terminal)
+                    key = (pair * 2 + 1) * a + li
+                    got = (int(tables.hop0_port[key]), int(tables.hop0_vc[key]))
+                    assert got == want, (sg, dg, li, "minimal hop0")
+        # Valiant phases for a sample of triples.
+        for sg, ig, dg in [(0, 3, 7), (2, 8, 1), (5, 0, 4), (7, 6, 2)]:
+            plan = memoised_valiant_plan(topo, sg, ig, dg)
+            dst_terminal = (dg * a + 1) * p + 1
+            for li in range(a):
+                # Phase 0: toward the (sg -> ig) link, no global hops yet.
+                src_router = sg * a + li
+                want = next_hop(topo, src_router, plan, 0, dst_terminal)
+                key = ((sg * g + ig) * 2) * a + li
+                got = (int(tables.hop0_port[key]), int(tables.hop0_vc[key]))
+                assert got == want, (sg, ig, dg, li, "valiant hop0")
+                # Phase 1: inside ig after one global hop.
+                mid_router = ig * a + li
+                want = next_hop(topo, mid_router, plan, 1, dst_terminal)
+                key = (ig * g + dg) * a + li
+                got = (int(tables.hop1_port[key]), int(tables.hop1_vc[key]))
+                assert got == want, (sg, ig, dg, li, "valiant hop1")
+
+
+# ----------------------------------------------------------------------
+# Batched decide vs scalar decide, every registry routing
+# ----------------------------------------------------------------------
+class _FakeView:
+    """Deterministic congestion state readable from both sides.
+
+    Scalar decides read it through the CongestionView protocol; the
+    batched path reads the same numbers through the flattened
+    ``qa``/``qb`` indices `batch_decide` emits -- so the test also pins
+    the index convention (``router * radix + port``, per-VC appended).
+    """
+
+    def __init__(self, topology: Dragonfly, num_vcs: int) -> None:
+        self.radix = topology.fabric.max_radix()
+        self.num_vcs = num_vcs
+        n_out = topology.fabric.num_routers * self.radix
+        self.pending = [(i * 13 + 5) % 23 for i in range(n_out)]
+        self.pending_vc = [(i * 7 + 3) % 11 for i in range(n_out * num_vcs)]
+
+    def output_occupancy(self, router: int, out_port: int) -> int:
+        return self.pending[router * self.radix + out_port]
+
+    def output_vc_occupancy(self, router: int, out_port: int, vc: int) -> int:
+        return self.pending_vc[(router * self.radix + out_port) * self.num_vcs + vc]
+
+
+def _decider_sample(topology: Dragonfly, seed: int, count: int):
+    """(src_router, dst_terminal) pairs covering every decide regime."""
+    rng = random.Random(seed)
+    n = topology.num_terminals
+    p = topology.p
+    pairs = []
+    for _ in range(count):
+        src_t = rng.randrange(n)
+        roll = rng.random()
+        if roll < 0.15:  # same router
+            dst = src_t // p * p + (src_t + 1) % p
+        elif roll < 0.3:  # same group, different router
+            per_group = topology.params.terminals_per_group
+            base = src_t // per_group * per_group
+            dst = base + (src_t - base + p) % per_group
+        else:  # inter-group
+            dst = rng.randrange(n)
+        if dst == src_t:
+            dst = (dst + 1) % n
+        pairs.append((topology.terminal_router(src_t), dst))
+    return pairs
+
+
+@pytest.mark.parametrize("name", ALL_ROUTING_NAMES)
+def test_batch_decide_matches_scalar(name):
+    topo = TOPOLOGY
+    routing = make_routing(name)
+    num_vcs = BASE_CONFIG.num_vcs
+    tables = DecideTables(topo, routing, num_vcs)
+    view = _FakeView(topo, num_vcs)
+    pairs = _decider_sample(topo, seed=42, count=300)
+
+    srcs = np.array([s for s, _ in pairs], dtype=np.int64)
+    dsts = np.array([d for _, d in pairs], dtype=np.int64)
+    dstr = np.array([topo.terminal_router(d) for _, d in pairs], dtype=np.int64)
+
+    stream = VectorizedMT19937.from_python_rng(random.Random(9))
+    batch = tables.batch_decide(stream, srcs, dsts, dstr)
+
+    rng = random.Random(9)
+    for i, (src_router, dst_terminal) in enumerate(pairs):
+        plan = routing.decide(view, topo, rng, src_router, dst_terminal)
+        want = next_hop(topo, src_router, plan, 0, dst_terminal)
+
+        if batch.mode[i] == 0:
+            got_port, got_vc = batch.a_port[i], batch.a_vc[i]
+            got_min, got_key = batch.a_min[i], batch.a_key[i]
+        else:
+            # The caller's live comparison, against the same state.
+            if batch.use_vc[i]:
+                q_a = view.pending_vc[batch.qa[i]]
+                q_b = view.pending_vc[batch.qb[i]]
+            else:
+                q_a = view.pending[batch.qa[i]]
+                q_b = view.pending[batch.qb[i]]
+            if q_a * batch.hm[i] <= q_b * batch.hn[i]:
+                got_port, got_vc = batch.a_port[i], batch.a_vc[i]
+                got_min, got_key = batch.a_min[i], batch.a_key[i]
+            else:
+                got_port, got_vc = batch.b_port[i], batch.b_vc[i]
+                got_min, got_key = False, batch.b_key[i]
+
+        assert (got_port, got_vc) == want, f"decider {i} first hop"
+        assert got_min == plan.minimal, f"decider {i} minimal flag"
+        lowered = tables.plan_for(got_key, got_min)
+        assert lowered.minimal == plan.minimal
+        assert lowered.gc1 == plan.gc1, f"decider {i} gc1"
+        assert lowered.gc2 == plan.gc2, f"decider {i} gc2"
+
+    # Both sides must have consumed the route stream identically.
+    back = random.Random()
+    back.setstate(stream.to_python_state())
+    assert back.getrandbits(32) == rng.getrandbits(32)
+
+
+# ----------------------------------------------------------------------
+# Eligibility, fallback logging, provenance
+# ----------------------------------------------------------------------
+class TestEligibility:
+    def test_canonical_single_flit_is_eligible(self):
+        for name in ALL_ROUTING_NAMES:
+            assert kernel_ineligibility(
+                BASE_CONFIG, TOPOLOGY, make_routing(name)
+            ) is None
+
+    def test_multiflit_is_ineligible(self):
+        config = dataclasses.replace(BASE_CONFIG, packet_size=4)
+        reason = kernel_ineligibility(config, TOPOLOGY, make_routing("MIN"))
+        assert reason is not None and "packet_size" in reason
+
+    def test_routing_subclass_is_ineligible(self):
+        class Custom(MinimalRouting):
+            pass
+
+        reason = kernel_ineligibility(BASE_CONFIG, TOPOLOGY, Custom())
+        assert reason is not None and "Custom" in reason
+
+    def test_topology_subclass_is_ineligible(self):
+        class Variant(Dragonfly):
+            pass
+
+        topo = Variant(DragonflyParams.paper_example_72())
+        reason = kernel_ineligibility(BASE_CONFIG, topo, make_routing("MIN"))
+        assert reason is not None
+
+    def test_contract_stamps_kernel_capability(self):
+        contract = contract_for(BASE_CONFIG, TOPOLOGY, make_routing("UGAL-L"))
+        assert contract.bit_identical
+        assert contract.decide_kernel == KERNEL_NAME
+        assert contract.kernel_fallback is None
+
+    def test_contract_stamps_fallback_reason(self):
+        config = dataclasses.replace(BASE_CONFIG, packet_size=4)
+        contract = contract_for(config, TOPOLOGY, make_routing("UGAL-L"))
+        assert not contract.bit_identical
+        assert contract.decide_kernel is None
+        assert contract.kernel_fallback is not None
+
+    def test_contract_without_context_stays_unstamped(self):
+        contract = contract_for(BASE_CONFIG)
+        assert contract.decide_kernel is None
+        assert contract.kernel_fallback is None
+
+
+class TestTrafficLowering:
+    """`lower_traffic` replays the pattern rng word-for-word."""
+
+    @pytest.mark.parametrize(
+        "name", ["uniform_random", "worst_case", "group_tornado"]
+    )
+    def test_batch_matches_scalar_calls(self, name: str) -> None:
+        reference = make_pattern(name, TOPOLOGY, seed=101)
+        lowered = lower_traffic(make_pattern(name, TOPOLOGY, seed=101))
+        assert lowered is not None
+        srcs = [(i * 29 + 7) % TOPOLOGY.num_terminals for i in range(400)]
+        expected = [reference(src) for src in srcs]
+        got = lowered.batch(np.asarray(srcs, np.int64))
+        assert got.tolist() == expected
+
+    def test_split_batches_keep_stream_position(self) -> None:
+        reference = make_pattern("worst_case", TOPOLOGY, seed=5)
+        lowered = lower_traffic(make_pattern("worst_case", TOPOLOGY, seed=5))
+        srcs = list(range(TOPOLOGY.num_terminals)) * 3
+        expected = [reference(src) for src in srcs]
+        got: list[int] = []
+        cursor = 0
+        for size in (1, 13, 50, 7, 121, 24):
+            chunk = np.asarray(srcs[cursor:cursor + size], np.int64)
+            got.extend(lowered.batch(chunk).tolist())
+            cursor += size
+        assert got == expected[:cursor]
+
+    def test_lowering_does_not_advance_source_rng(self) -> None:
+        pattern = make_pattern("uniform_random", TOPOLOGY, seed=3)
+        before = pattern._rng.getstate()
+        lowered = lower_traffic(pattern)
+        assert lowered is not None
+        lowered.batch(np.arange(32, dtype=np.int64))
+        assert pattern._rng.getstate() == before
+
+    def test_unlowerable_patterns_return_none(self) -> None:
+        for name in ("bursty", "shift", "hotspot"):
+            assert lower_traffic(make_pattern(name, TOPOLOGY, seed=2)) is None
+
+    def test_kernel_sim_uses_lowering(self) -> None:
+        sim = _sim(BASE_CONFIG, "array")
+        assert sim._kernel and sim._traffic_lowering is not None
+        bursty = make_simulator(
+            TOPOLOGY,
+            make_routing("UGAL-L"),
+            make_pattern("bursty", TOPOLOGY, seed=9),
+            BASE_CONFIG,
+            backend="array",
+        )
+        assert bursty._kernel and bursty._traffic_lowering is None
+
+
+def _sim(config: SimulationConfig, backend: str, routing_name: str = "UGAL-L"):
+    return make_simulator(
+        TOPOLOGY,
+        make_routing(routing_name),
+        make_pattern("uniform_random", TOPOLOGY, seed=config.seed + 17),
+        config,
+        backend=backend,
+    )
+
+
+class TestProvenance:
+    def test_array_kernel_provenance(self):
+        result = _sim(BASE_CONFIG, "array").run()
+        assert result.backend_info == {"backend": "array", "kernel": KERNEL_NAME}
+
+    def test_scalar_provenance(self):
+        result = _sim(BASE_CONFIG, "scalar").run()
+        assert result.backend_info == {"backend": "scalar", "kernel": "none"}
+
+    def test_fallback_is_reported_and_logged(self, caplog):
+        config = dataclasses.replace(BASE_CONFIG, packet_size=4)
+        with caplog.at_level(logging.INFO, logger="repro.network.array_backend"):
+            sim = _sim(config, "array")
+        info = sim.backend_provenance()
+        assert info["backend"] == "array"
+        assert info["kernel"] == "none"
+        assert "packet_size" in info["kernel_fallback"]
+        assert any(
+            "decide kernel disabled" in record.getMessage()
+            for record in caplog.records
+        ), "fallback must be logged, never silent"
+
+    def test_provenance_excluded_from_equality_and_payload(self):
+        scalar = _sim(BASE_CONFIG, "scalar").run()
+        array = _sim(BASE_CONFIG, "array").run()
+        assert scalar == array  # provenance is compare=False metadata
+        assert "backend_info" not in scalar.to_dict()
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("pattern", ["worst_case", "bursty"])
+    def test_kernel_run_is_bit_identical(self, pattern):
+        config = dataclasses.replace(BASE_CONFIG, load=0.4)
+        traffic = lambda: make_pattern(pattern, TOPOLOGY, seed=config.seed + 17)
+        runs = {}
+        for backend in ("scalar", "array"):
+            sim = make_simulator(
+                TOPOLOGY, make_routing("UGAL-L_VCH"), traffic(), config,
+                backend=backend,
+            )
+            runs[backend] = sim.run()
+        assert runs["array"].to_dict() == runs["scalar"].to_dict()
+        assert runs["array"].backend_info["kernel"] == KERNEL_NAME
