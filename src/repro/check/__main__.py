@@ -1,6 +1,6 @@
 """``python -m repro.check`` -- the static-analysis gate.
 
-Runs up to five passes and exits nonzero when any produces an ERROR:
+Runs up to six passes and exits nonzero when any produces an ERROR:
 
 * ``cdg``         -- certify deadlock freedom of every registered
                      (topology, routing, VC assignment) configuration by
@@ -14,11 +14,18 @@ Runs up to five passes and exits nonzero when any produces an ERROR:
                      (reachability, acyclic table-CDG, grammar-consistent
                      VCs, JSON round trip), including fault-degraded
                      dragonfly table sets;
+* ``faults``      -- fault-parametric certification of *degraded*
+                     families: healthy grammar composed with symbolic
+                     fault classes (severed group pair, dead local link,
+                     dead router), proved acyclic and within the VC
+                     budget at Table-2 scale, anchored by a
+                     symbolic-vs-concrete cross-check on every
+                     enumerable degraded configuration;
 * ``invariants``  -- audit the topology algebra and wiring invariants;
 * ``lint``        -- repo-specific AST lint of ``src/repro``,
                      ``benchmarks/`` and ``examples/``.
 
-With no arguments all five run.  ``--sanitize-fixture NAME`` additionally
+With no arguments all six run.  ``--sanitize-fixture NAME`` additionally
 re-simulates a golden fixture under ``REPRO_SANITIZE=1`` and fails on any
 conservation violation or output divergence.  See ``--help`` for
 selection flags and ``docs/static-analysis.md`` for the full story.
@@ -40,16 +47,28 @@ from .lint import lint_sources
 from .registry import (
     all_configurations,
     broken_configuration,
+    degraded_crosscheck_configurations,
+    degraded_family_configurations,
     symbolic_scale_configurations,
 )
 from .report import CheckReport, Severity, combined_exit_code
-from .symbolic import certify_grammar, soundness_harness
+from .symbolic import (
+    certify_grammar,
+    degraded_cross_check,
+    soundness_harness,
+    vc_budget_violations,
+)
 from .tables import run_tables_pass
 
-PASSES = ("cdg", "symbolic", "tables", "invariants", "lint")
+PASSES = ("cdg", "symbolic", "tables", "faults", "invariants", "lint")
 
 #: Wall-clock budget for certifying one Table-2-scale parameterisation.
 SCALE_BUDGET_SECONDS = 5.0
+
+#: Wall-clock budget for certifying one *degraded* Table-2 family: the
+#: acceptance bar of the fault-parametric certifier is well under a
+#: second per parameterisation.
+FAULT_SCALE_BUDGET_SECONDS = 1.0
 
 
 def run_cdg_pass(demo_broken: bool = False) -> CheckReport:
@@ -169,6 +188,121 @@ def run_symbolic_pass(demo_broken: bool = False) -> CheckReport:
     return report
 
 
+def run_faults_pass() -> CheckReport:
+    """Fault-parametric certification of degraded families (``FLT0xx``).
+
+    Two stages.  Stage 1 certifies each registered
+    :class:`~repro.check.registry.DegradedFamilyConfiguration`: the
+    fault-parametric grammar is composed (healthy route classes ∪ detour
+    classes, local segments widened for relay faults), its class-level
+    dependency graph is proved acyclic (``FLT001`` on an unexpected
+    cycle), every class is checked against the assignment's VC budget
+    (``FLT002``), and the Table-2 parameterisations are held to the
+    sub-second wall-clock budget (``FLT005``).  Negative controls must
+    be *refuted* (``FLT003`` INFO evidence; ``FLT004`` when one rots).
+
+    Stage 2 anchors soundness: every enumerable degraded configuration
+    is certified both symbolically and concretely (table-level CDG on
+    the detour-recompiled tables) and the verdicts must agree
+    (``FLT006``); the refuted negative control prints *both*
+    counterexample cycles.
+    """
+    report = CheckReport(pass_name="faults")
+    for family in degraded_family_configurations():
+        start = time.perf_counter()
+        grammar = family.degraded().compose()
+        certification = certify_grammar(family.name, grammar)
+        violations = vc_budget_violations(grammar)
+        elapsed = time.perf_counter() - start
+        scale = (
+            f" [N={family.num_terminals:,} terminals, {elapsed:.3f}s]"
+            if family.num_terminals is not None else ""
+        )
+        report.note(f"{certification.summary()}{scale}")
+        for violation in violations:
+            report.add(
+                "FLT002", Severity.ERROR, family.name,
+                f"detour class exceeds the VC budget: {violation}",
+            )
+        if family.num_terminals is not None and (
+            elapsed > FAULT_SCALE_BUDGET_SECONDS
+        ):
+            report.add(
+                "FLT005", Severity.ERROR, family.name,
+                f"degraded-family certification took {elapsed:.2f}s; the "
+                f"budget at Table-2 scale is "
+                f"{FAULT_SCALE_BUDGET_SECONDS:.0f}s",
+            )
+        if certification.ok == family.expect_deadlock_free:
+            if not certification.ok:
+                report.add(
+                    "FLT003", Severity.INFO, family.name,
+                    "expected symbolic counterexample found:\n"
+                    + (certification.cycle_description or ""),
+                )
+            continue
+        if certification.ok:
+            report.add(
+                "FLT004", Severity.ERROR, family.name,
+                "degraded family documented as deadlocking was certified "
+                "acyclic; negative control has rotted",
+            )
+        else:
+            report.add(
+                "FLT001", Severity.ERROR, family.name,
+                "degraded class-level dependency graph is CYCLIC; symbolic "
+                "counterexample:\n"
+                + (certification.cycle_description or ""),
+            )
+    for configuration in degraded_crosscheck_configurations():
+        check = degraded_cross_check(configuration.name, configuration.build())
+        report.note(check.summary())
+        if not check.agrees:
+            report.add(
+                "FLT006", Severity.ERROR, configuration.name,
+                "symbolic and concrete verdicts disagree "
+                f"(symbolic={'free' if check.symbolic.ok else 'cyclic'}, "
+                "concrete-tables="
+                f"{'cyclic' if check.concrete.cyclic else 'free'}); the "
+                "degraded grammar's abstraction no longer matches the "
+                "detour-recompiled tables",
+            )
+            continue
+        safe = check.symbolic.ok
+        if safe == configuration.expect_deadlock_free:
+            if not safe:
+                report.add(
+                    "FLT003", Severity.INFO, configuration.name,
+                    "expected counterexample found by BOTH verifiers.\n"
+                    "symbolic counterexample:\n"
+                    + (check.symbolic.cycle_description or "")
+                    + "\nconcrete table-level counterexample:\n"
+                    + (check.concrete.cycle_description or ""),
+                )
+            else:
+                # Certified clean both ways: surface any non-cycle
+                # concrete findings (reachability, round trip, ...).
+                report.extend(check.concrete.findings)
+            continue
+        if safe:
+            report.add(
+                "FLT004", Severity.ERROR, configuration.name,
+                "degraded configuration documented as deadlocking was "
+                "certified clean by both verifiers; negative control has "
+                "rotted",
+            )
+        else:
+            report.add(
+                "FLT001", Severity.ERROR, configuration.name,
+                "degraded configuration is CYCLIC (both verifiers agree); "
+                "symbolic counterexample:\n"
+                + (check.symbolic.cycle_description or "")
+                + "\nconcrete table-level counterexample:\n"
+                + (check.concrete.cycle_description or ""),
+            )
+    return report
+
+
 def run_invariants_pass() -> CheckReport:
     """Audit every registered topology instance."""
     report = CheckReport(pass_name="invariants")
@@ -264,6 +398,8 @@ def run_passes(
             reports.append(run_tables_pass(
                 demo_broken=demo_broken, export_dir=export_tables
             ))
+        elif name == "faults":
+            reports.append(run_faults_pass())
         elif name == "invariants":
             reports.append(run_invariants_pass())
         elif name == "lint":
@@ -298,6 +434,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--tables", action="store_true",
         help="run only the forwarding-table certification pass "
         "(shorthand for the 'tables' positional)",
+    )
+    parser.add_argument(
+        "--faults", action="store_true",
+        help="run only the fault-parametric degraded-family certification "
+        "pass (shorthand for the 'faults' positional)",
     )
     parser.add_argument(
         "--export-tables", metavar="DIR", default=None,
@@ -341,6 +482,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("Fault-degraded table configurations:")
         for degraded in degraded_configurations():
             print(f"  {degraded.name}  ({degraded.description})")
+        print("Degraded families (symbolic, fault-parametric):")
+        for family in degraded_family_configurations():
+            print(f"  {family.name}  ({family.description})")
+        print("Degraded cross-check configurations:")
+        for crosscheck in degraded_crosscheck_configurations():
+            print(f"  {crosscheck.name}  ({crosscheck.description})")
         print("Symbolic scale parameterisations:")
         for scale in symbolic_scale_configurations():
             print(f"  {scale.name}  ({scale.description})")
@@ -349,16 +496,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"  {name}")
         return 0
 
-    for flag, shorthand in (("--symbolic", args.symbolic),
-                            ("--tables", args.tables)):
+    shorthands = (
+        ("--symbolic", args.symbolic),
+        ("--tables", args.tables),
+        ("--faults", args.faults),
+    )
+    for flag, shorthand in shorthands:
         if shorthand and args.passes:
             parser.error(f"{flag} cannot be combined with positional passes")
-    if args.symbolic and args.tables:
-        parser.error("--symbolic and --tables select different single passes")
+    selected = [flag for flag, shorthand in shorthands if shorthand]
+    if len(selected) > 1:
+        parser.error(
+            f"{' and '.join(selected)} select different single passes"
+        )
     if args.symbolic:
         passes = ["symbolic"]
     elif args.tables:
         passes = ["tables"]
+    elif args.faults:
+        passes = ["faults"]
     else:
         passes = args.passes or list(PASSES)
     unknown = [name for name in passes if name not in PASSES]

@@ -43,6 +43,17 @@ of the codebase:
     :class:`~repro.network.simulator.SimulatorStateError` or report a
     :class:`~repro.check.report.Finding` via the conservation sanitizer
     instead.  Tests and non-engine packages may keep using asserts.
+
+``REP006`` no global-state ``numpy.random`` outside the transplant modules
+    ``numpy.random.rand()``, ``numpy.random.seed()`` and friends draw
+    from (or mutate) numpy's interpreter-global generator -- the same
+    nondeterminism source as ``REP001``, invisible to it because the
+    module is ``numpy.random``, not ``random``.  Constructing explicit
+    generators (``RandomState``, ``default_rng``, ``Generator``,
+    ``SeedSequence``) is allowed anywhere.  The sanctioned MT19937
+    transplant modules (``network/decide_kernel.py``,
+    ``network/array_backend.py``), whose whole point is replaying the
+    scalar engine's streams through numpy's state machinery, are exempt.
 """
 
 from __future__ import annotations
@@ -72,6 +83,20 @@ SETDEFAULT_BANNED_MODULES = frozenset({"network/simulator.py"})
 #: is banned (REP005): the simulator library, whose state validation
 #: must survive ``python -O``.
 ASSERT_BANNED_PACKAGES = frozenset({"network"})
+
+#: ``numpy.random`` attributes that are legitimate to touch directly
+#: (REP006): explicit-generator constructors, never global-state calls.
+ALLOWED_NP_RANDOM_ATTRS = frozenset({
+    "RandomState", "Generator", "default_rng", "SeedSequence",
+})
+
+#: Modules (relative, POSIX-style) exempt from REP006: the sanctioned
+#: MT19937 transplant modules, which replay the scalar engine's random
+#: streams through numpy's generator state machinery by design.
+NP_RANDOM_SANCTIONED_MODULES = frozenset({
+    "network/decide_kernel.py",
+    "network/array_backend.py",
+})
 
 #: Repo-level script trees linted in script mode alongside the package.
 SCRIPT_TREES = ("benchmarks", "examples")
@@ -133,6 +158,9 @@ class _Linter(ast.NodeVisitor):
         self.relative = relative
         self.findings: List[Finding] = []
         self._random_aliases: set = set()
+        self._numpy_aliases: set = set()
+        self._np_random_aliases: set = set()
+        self._np_random_exempt = relative in NP_RANDOM_SANCTIONED_MODULES
         self._script_mode = script_mode
         #: In script mode, depth > 0 means inside a def/class body or the
         #: ``__main__`` guard, where prints are a script's normal output.
@@ -159,11 +187,19 @@ class _Linter(ast.NodeVisitor):
             message=message,
         ))
 
-    # -- imports: track what name the random module goes by -------------
+    # -- imports: track what names random / numpy.random go by -----------
     def visit_Import(self, node: ast.Import) -> None:
         for alias in node.names:
             if alias.name == "random":
                 self._random_aliases.add(alias.asname or "random")
+            elif alias.name == "numpy":
+                self._numpy_aliases.add(alias.asname or "numpy")
+            elif alias.name == "numpy.random":
+                if alias.asname:
+                    self._np_random_aliases.add(alias.asname)
+                else:
+                    # ``import numpy.random`` binds the name ``numpy``.
+                    self._numpy_aliases.add("numpy")
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
@@ -176,7 +212,32 @@ class _Linter(ast.NodeVisitor):
                         "module-global randomness; use a seeded "
                         "random.Random instance",
                     )
+        elif node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self._np_random_aliases.add(alias.asname or "random")
+        elif node.module == "numpy.random" and not self._np_random_exempt:
+            for alias in node.names:
+                if alias.name not in ALLOWED_NP_RANDOM_ATTRS:
+                    self._add(
+                        "REP006", node,
+                        f"importing numpy.random.{alias.name} pulls "
+                        "numpy's interpreter-global generator state; "
+                        "construct an explicit Generator/RandomState "
+                        "(sanctioned transplant modules only)",
+                    )
         self.generic_visit(node)
+
+    def _is_np_random_value(self, value: ast.expr) -> bool:
+        """True when ``value`` denotes the ``numpy.random`` module."""
+        if isinstance(value, ast.Name):
+            return value.id in self._np_random_aliases
+        return (
+            isinstance(value, ast.Attribute)
+            and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in self._numpy_aliases
+        )
 
     # -- calls: unseeded random + print ----------------------------------
     def visit_Call(self, node: ast.Call) -> None:
@@ -211,6 +272,19 @@ class _Linter(ast.NodeVisitor):
                     "print() in library code; return data or use the stats "
                     "pipeline (CLI __main__ modules are exempt)",
                 )
+        if (
+            isinstance(func, ast.Attribute)
+            and not self._np_random_exempt
+            and func.attr not in ALLOWED_NP_RANDOM_ATTRS
+            and self._is_np_random_value(func.value)
+        ):
+            self._add(
+                "REP006", node,
+                f"call to numpy.random.{func.attr}() uses numpy's "
+                "interpreter-global generator; construct an explicit "
+                "Generator/RandomState (sanctioned transplant modules "
+                "only)",
+            )
         if (
             self._setdefault_banned
             and isinstance(func, ast.Attribute)

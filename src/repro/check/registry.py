@@ -33,10 +33,11 @@ from ..core.params import DragonflyParams
 from ..routing import vc_assignment as vcs
 from ..routing.clos_routing import clos_path_grammar
 from ..routing.fb_paths import fb_path_grammar
-from ..routing.grammar import PathGrammar
-from ..routing.paths import dragonfly_path_grammar
+from ..routing.grammar import DegradedPathGrammar, PathGrammar
+from ..routing.paths import degraded_dragonfly_grammar, dragonfly_path_grammar
 from ..routing.tables import (
     ClosLowering,
+    DegradedDragonflyLowering,
     DragonflyLowering,
     FbLowering,
     Lowering,
@@ -47,6 +48,11 @@ from ..routing.torus_routing import torus_path_grammar
 from ..routing.variant_paths import variant_path_grammar
 from ..topology.base import Fabric
 from ..topology.dragonfly import Dragonfly
+from ..topology.faults import (
+    ALL_FAULT_CLASSES,
+    SEVERED_GROUP_PAIR,
+    FaultSet,
+)
 from ..topology.flattened_butterfly import FlattenedButterfly
 from ..topology.folded_clos import FoldedClos
 from ..topology.group_variants import FlattenedButterflyGroupDragonfly
@@ -285,6 +291,186 @@ def symbolic_scale_configurations() -> List[SymbolicScaleConfiguration]:
             grammar=lambda: dragonfly_path_grammar(vcs.CANONICAL),
         ))
     return configurations
+
+
+# ----------------------------------------------------------------------
+# Fault-parametric degraded families (the ``faults`` pass)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DegradedFamilyConfiguration:
+    """A fault-degraded routing *family* certified symbolically.
+
+    ``degraded`` builds the :class:`~repro.routing.grammar.
+    DegradedPathGrammar` quantifying over fault classes, not concrete
+    fault sets -- one certificate covers every (a, p, h, g) member and
+    every fault set exhibiting only those classes.  ``num_terminals``
+    names the machine size for the Table-2 entries (purely descriptive:
+    the grammar never builds the topology), None for the
+    instance-independent family entries.
+    """
+
+    name: str
+    description: str
+    degraded: Callable[[], DegradedPathGrammar]
+    expect_deadlock_free: bool = True
+    num_terminals: Optional[int] = None
+
+
+def degraded_family_configurations() -> List[DegradedFamilyConfiguration]:
+    """Degraded families certified by ``python -m repro.check --faults``."""
+    configurations = [
+        DegradedFamilyConfiguration(
+            name="dragonfly-degraded-family@figure7-3vc",
+            description=(
+                "any dragonfly, any fault set built from severed group "
+                "pairs, dead local links and dead routers; canonical VCs"
+            ),
+            degraded=lambda: degraded_dragonfly_grammar(
+                vcs.CANONICAL, ALL_FAULT_CLASSES
+            ),
+        ),
+        DegradedFamilyConfiguration(
+            name="dragonfly-degraded-family@detour-vc-reuse (negative control)",
+            description=(
+                "detour class allowed to reuse its injection VC; the "
+                "certifier must refute the family"
+            ),
+            degraded=lambda: degraded_dragonfly_grammar(
+                vcs.DETOUR_VC_REUSE, (SEVERED_GROUP_PAIR,)
+            ),
+            expect_deadlock_free=False,
+        ),
+    ]
+    for h in (16, 24):
+        params = DragonflyParams.balanced(h)
+        configurations.append(DegradedFamilyConfiguration(
+            name=f"dragonfly-degraded-balanced-h{h}@figure7-3vc",
+            description=(
+                f"degraded balanced dragonfly (p={params.p},a={params.a},"
+                f"h={params.h},g={params.g}): N={params.num_terminals:,} "
+                "terminals, all three fault classes"
+            ),
+            degraded=lambda: degraded_dragonfly_grammar(
+                vcs.CANONICAL, ALL_FAULT_CLASSES
+            ),
+            num_terminals=params.num_terminals,
+        ))
+    return configurations
+
+
+@dataclass(frozen=True)
+class DegradedCrossCheckConfiguration:
+    """One enumerable degraded configuration anchoring the family proof.
+
+    ``build`` constructs the concrete degraded lowering; the faults pass
+    certifies it symbolically (grammar composed for exactly the fault
+    classes the fault set exhibits) *and* concretely (table-level CDG on
+    the detour-recompiled tables) and asserts the verdicts agree.
+    """
+
+    name: str
+    description: str
+    build: Callable[[], DegradedDragonflyLowering]
+    expect_deadlock_free: bool = True
+
+
+def _severed_pair_links(
+    topology: Dragonfly, pairs: Iterable[Tuple[int, int]]
+) -> List[Tuple[int, int]]:
+    """Endpoints of every cable between each named group pair."""
+    links = []
+    for src_group, dest_group in pairs:
+        for link in topology.group_links(src_group, dest_group):
+            links.append((link.src_router, link.dst_router))
+    return links
+
+
+def degraded_crosscheck_configurations() -> List[
+    DegradedCrossCheckConfiguration
+]:
+    """Enumerable degraded configurations for the symbolic-vs-concrete
+    harness of the ``faults`` pass."""
+
+    def paper_severed() -> DegradedDragonflyLowering:
+        topology = Dragonfly(DragonflyParams.paper_example_72())
+        faults = FaultSet.of(links=_severed_pair_links(topology, [(0, 1)]))
+        return DegradedDragonflyLowering(topology, faults)
+
+    def paper_mixed() -> DegradedDragonflyLowering:
+        topology = Dragonfly(DragonflyParams.paper_example_72())
+        global_link = topology.group_links(0, 1)[0]
+        faults = FaultSet.of(
+            links=[
+                (global_link.src_router, global_link.dst_router),
+                (2, 3),
+            ],
+            routers=[35],
+        )
+        return DegradedDragonflyLowering(topology, faults)
+
+    def tiny_severed() -> DegradedDragonflyLowering:
+        topology = Dragonfly(DragonflyParams(p=1, a=2, h=1))
+        faults = FaultSet.of(links=_severed_pair_links(topology, [(0, 1)]))
+        return DegradedDragonflyLowering(topology, faults)
+
+    def nonmax_partial() -> DegradedDragonflyLowering:
+        topology = Dragonfly(DragonflyParams(p=2, a=4, h=2, num_groups=5))
+        link = topology.group_links(0, 1)[0]
+        faults = FaultSet.of(links=[(link.src_router, link.dst_router)])
+        return DegradedDragonflyLowering(topology, faults)
+
+    def vc_reuse_ring() -> DegradedDragonflyLowering:
+        # Three detour-rerouted pairs in a ring with distinct mid groups
+        # at every junction ((2,3) pushes the 1->2 detour off mid 3,
+        # (0,4) pushes the 2->0 detour off mid 4), so the concrete
+        # table-CDG cycle actually closes when the detour's final stage
+        # reuses the injection VC.
+        topology = Dragonfly(DragonflyParams.paper_example_72())
+        faults = FaultSet.of(links=_severed_pair_links(
+            topology, [(0, 1), (1, 2), (0, 2), (2, 3), (0, 4)]
+        ))
+        return DegradedDragonflyLowering(
+            topology, faults, assignment=vcs.DETOUR_VC_REUSE
+        )
+
+    return [
+        DegradedCrossCheckConfiguration(
+            name="dragonfly-degraded/severed-pair@figure7-3vc",
+            description="paper-72 minus every cable between groups 0 and 1",
+            build=paper_severed,
+        ),
+        DegradedCrossCheckConfiguration(
+            name="dragonfly-degraded/mixed@figure7-3vc",
+            description=(
+                "paper-72 minus one global cable, one local cable and "
+                "one router (all three fault classes at once)"
+            ),
+            build=paper_mixed,
+        ),
+        DegradedCrossCheckConfiguration(
+            name="dragonfly-degraded-tiny/severed-pair@figure7-3vc",
+            description="smallest dragonfly minus its only 0<->1 cable",
+            build=tiny_severed,
+        ),
+        DegradedCrossCheckConfiguration(
+            name="dragonfly-degraded-nonmax72/one-of-two@figure7-3vc",
+            description=(
+                "non-maximal 72-router dragonfly minus one of the two "
+                "cables between groups 0 and 1 (pair survives, no detour)"
+            ),
+            build=nonmax_partial,
+        ),
+        DegradedCrossCheckConfiguration(
+            name="dragonfly-degraded/detour-vc-reuse (negative control)",
+            description=(
+                "paper-72 with a detour ring (severed pairs 0-1, 1-2, "
+                "2-0, 2-3, 0-4) under the VC-reuse assignment; both "
+                "verifiers must refute it"
+            ),
+            build=vc_reuse_ring,
+            expect_deadlock_free=False,
+        ),
+    ]
 
 
 #: Extra configurations registered by extensions (see module docstring).

@@ -43,7 +43,7 @@ concrete enumerator on every registered (finite) configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
 
 import networkx as nx
 
@@ -54,6 +54,10 @@ from .registry import (
     broken_configuration,
     default_configurations,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..routing.tables import DegradedDragonflyLowering
+    from .tables import TableCertification
 
 #: Where one class-level dependency comes from:
 #: (route class name, holding stage index, requesting stage index).
@@ -280,3 +284,82 @@ def soundness_harness(
         if result is not None:
             checks.append(result)
     return checks
+
+
+# ----------------------------------------------------------------------
+# Fault-parametric certification of degraded families (FLT pass support)
+# ----------------------------------------------------------------------
+def vc_budget_violations(grammar: PathGrammar) -> List[str]:
+    """Channel classes whose VC falls outside the grammar's VC budget.
+
+    The degraded grammar repurposes the non-minimal VC ladder for
+    detours, so acyclicity alone is not enough: every detour class must
+    also *fit* the configured :class:`~repro.routing.vc_assignment.
+    VcAssignment` -- a class on VC ``num_vcs`` would be acyclic and
+    unimplementable.  Returns one message per offending class, empty
+    when the budget suffices.
+    """
+    violations = []
+    for cls in grammar.classes():
+        if cls.vc < 0 or cls.vc >= grammar.num_vcs:
+            violations.append(
+                f"class {cls.describe()} needs VC {cls.vc} but the "
+                f"assignment provisions only VCs 0..{grammar.num_vcs - 1}"
+            )
+    return violations
+
+
+@dataclass(frozen=True)
+class DegradedCrossCheck:
+    """Symbolic and concrete verdicts for one degraded configuration.
+
+    The concrete side is the table-level CDG verifier on the
+    detour-recompiled tables; ``agrees`` asserts the soundness direction
+    symbolic-says-safe ⟹ concrete-finds-no-cycle *and* its calibration
+    converse, i.e. the two verdicts on deadlock match exactly.  The
+    concrete certification may carry non-cycle findings (reachability,
+    round-trip) that are reported separately; only cyclicity is the
+    soundness question.
+    """
+
+    name: str
+    symbolic: SymbolicCertification
+    concrete: "TableCertification"
+
+    @property
+    def agrees(self) -> bool:
+        return self.symbolic.ok == (not self.concrete.cyclic)
+
+    def summary(self) -> str:
+        verdict = "agree" if self.agrees else "DISAGREE"
+        return (
+            f"{self.name}: symbolic="
+            f"{'free' if self.symbolic.ok else 'cyclic'} concrete-tables="
+            f"{'cyclic' if self.concrete.cyclic else 'free'} -> {verdict}"
+        )
+
+
+def degraded_cross_check(
+    name: str, lowering: "DegradedDragonflyLowering"
+) -> DegradedCrossCheck:
+    """Certify one degraded configuration both ways.
+
+    Symbolically: compose the fault-parametric grammar for exactly the
+    fault classes the lowering's concrete fault set exhibits, and
+    certify the class-level graph.  Concretely: recompile the detour
+    tables and run the full table-level CDG verifier
+    (:func:`repro.check.tables.certify_tables`).  The enumerable
+    configurations checked this way anchor the family-level certificate
+    the same way PR 5's :func:`soundness_harness` anchors the healthy
+    one.
+    """
+    from ..routing.paths import degraded_dragonfly_grammar
+    from .tables import certify_tables
+
+    grammar = degraded_dragonfly_grammar(
+        lowering.assignment,
+        lowering.faults.fault_classes(lowering.topology),
+    ).compose()
+    symbolic = certify_grammar(name, grammar)
+    concrete = certify_tables(name, lowering)
+    return DegradedCrossCheck(name, symbolic, concrete)

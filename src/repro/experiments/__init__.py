@@ -6,7 +6,13 @@
 >>> print(get_experiment("fig02").run().format_table())
 """
 
-from . import analytic, cost_experiments, extensions, routing_sim  # noqa: F401  (register)
+from . import (  # noqa: F401  (register)
+    analytic,
+    cost_experiments,
+    extensions,
+    fault_sweep,
+    routing_sim,
+)
 from .base import (
     REGISTRY,
     Experiment,

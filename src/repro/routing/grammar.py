@@ -33,7 +33,19 @@ routing change and its grammar change land in the same review.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..topology.faults import FaultClass
+
+#: Order witness for local segments widened by relay repair: the detour
+#: recompiler repoints a dead local hop through a surviving neighbour
+#: whose own entry toward the same stage target is *unrepaired* (it owns
+#: a live direct cable), so every relay hop strictly decreases the
+#: surviving-relay distance to the stage's target router.  Relay chains
+#: within one stage therefore descend a strict order and cannot close an
+#: intra-class cycle.
+RELAY_ORDER = "surviving-relay distance to the stage target"
 
 
 @dataclass(frozen=True)
@@ -96,3 +108,80 @@ class PathGrammar:
             for segment in route_class.segments:
                 seen.setdefault(segment.cls, None)
         return tuple(seen)
+
+
+#: Fault-class kinds whose table repair widens local segments into
+#: relay walks (multi-hop within the local channel class).
+RELAY_FAULT_KINDS = frozenset({"dead-local-link", "dead-router"})
+
+
+@dataclass(frozen=True)
+class DegradedPathGrammar:
+    """A healthy family grammar composed with symbolic fault classes.
+
+    ``healthy`` is the family's fault-free :class:`PathGrammar`;
+    ``fault_classes`` the :class:`~repro.topology.faults.FaultClass`
+    values the certificate quantifies over (severed group pair, dead
+    local link, dead router -- roles, not identities); and
+    ``detour_classes`` the extra :class:`RouteClass` sequences the
+    detour recompiler programs for reroute-shaped faults (e.g. the
+    dragonfly third-group detour).  :meth:`compose` flattens the three
+    into one ordinary :class:`PathGrammar` the symbolic certifier
+    (:mod:`repro.check.symbolic`) analyses unchanged -- the degraded
+    certificate is the healthy machinery applied to a wider grammar,
+    not a new analysis.
+
+    Composition rules:
+
+    * every healthy route class survives (faulted fabrics still route
+      unaffected pairs minimally);
+    * the detour route classes are appended;
+    * when any fault class in :data:`RELAY_FAULT_KINDS` is present,
+      every single-hop ``"local"`` segment (healthy and detour alike)
+      is widened to ``multi_hop`` with :data:`RELAY_ORDER` as its order
+      witness -- relay repair can stretch any local stage into a short
+      walk through surviving neighbours.  Segments that are already
+      multi-hop keep their own order: if the two orders differ for one
+      class, :func:`repro.check.symbolic._witness_orders` discards the
+      witness and certification conservatively fails, which is the safe
+      direction.
+    """
+
+    healthy: PathGrammar
+    fault_classes: Tuple["FaultClass", ...]
+    detour_classes: Tuple[RouteClass, ...] = field(default_factory=tuple)
+
+    def _widen(self, route_class: RouteClass, relay: bool) -> RouteClass:
+        if not relay:
+            return route_class
+        segments = tuple(
+            Segment(
+                cls=segment.cls,
+                optional=segment.optional,
+                multi_hop=True,
+                order=RELAY_ORDER,
+            )
+            if segment.cls.kind == "local" and not segment.multi_hop
+            else segment
+            for segment in route_class.segments
+        )
+        return RouteClass(route_class.name, segments)
+
+    def compose(self) -> PathGrammar:
+        """Flatten into one PathGrammar over healthy ∪ detour classes."""
+        relay = any(
+            fault.kind in RELAY_FAULT_KINDS for fault in self.fault_classes
+        )
+        route_classes = tuple(
+            self._widen(route_class, relay)
+            for route_class in (
+                *self.healthy.route_classes,
+                *self.detour_classes,
+            )
+        )
+        kinds = ",".join(fault.kind for fault in self.fault_classes)
+        return PathGrammar(
+            name=f"{self.healthy.name}+faults[{kinds or 'none'}]",
+            num_vcs=self.healthy.num_vcs,
+            route_classes=route_classes,
+        )

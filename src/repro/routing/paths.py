@@ -15,8 +15,15 @@ from typing import List, Optional, Tuple
 from ..core.params import TopologyError
 from ..network.packet import RoutePlan
 from ..topology.dragonfly import Dragonfly, GlobalLink
+from ..topology.faults import ALL_FAULT_CLASSES, SEVERED_GROUP_PAIR, FaultClass
 from . import vc_assignment as vcs
-from .grammar import ChannelClass, PathGrammar, RouteClass, Segment
+from .grammar import (
+    ChannelClass,
+    DegradedPathGrammar,
+    PathGrammar,
+    RouteClass,
+    Segment,
+)
 
 #: Shared plan for intra-group routes.  Plans are immutable once built
 #: (the simulator only attaches an interned ``hop_key``, identical for
@@ -377,6 +384,64 @@ def dragonfly_path_grammar(
         name=f"dragonfly@{assignment.name}",
         num_vcs=assignment.num_vcs,
         route_classes=tuple(route_classes),
+    )
+
+
+def degraded_dragonfly_grammar(
+    assignment: vcs.VcAssignment = vcs.CANONICAL,
+    fault_classes: Tuple[FaultClass, ...] = ALL_FAULT_CLASSES,
+) -> DegradedPathGrammar:
+    """The degraded-family grammar: healthy minimal routes + fault detours.
+
+    Instance-independent like :func:`dragonfly_path_grammar`, but
+    parameterised by symbolic *fault classes* rather than a concrete
+    fault set: any dragonfly of the family, degraded by any fault set
+    exhibiting only the given classes and recompiled by the detour
+    recompiler (:func:`repro.routing.tables.compile_dragonfly_tables`
+    with faults), emits only routes these route classes describe.
+
+    * The healthy base is the *minimal-only* grammar -- degraded tables
+      are compiled without adaptive non-minimal entries, so the Valiant
+      class is absent and its VC ladder is free for detours.
+    * ``severed-group-pair`` adds the ``fault-detour`` route class: the
+      third-group detour the recompiler programs for the severed pair,
+      shaped exactly like a Valiant route (and therefore using the
+      non-minimal VC ladder, which is why the assignment must support
+      non-minimal VCs even though no adaptive routing happens).
+    * ``dead-local-link`` / ``dead-router`` widen local segments to
+      relay walks; :meth:`DegradedPathGrammar.compose` handles that.
+    """
+    for fault in fault_classes:
+        if not isinstance(fault, FaultClass):
+            raise TypeError(f"not a FaultClass: {fault!r}")
+    detour_classes: List[RouteClass] = []
+    if SEVERED_GROUP_PAIR in fault_classes:
+        if not assignment.supports_nonminimal:
+            raise TopologyError(
+                f"assignment {assignment.name!r} has no non-minimal VC "
+                "ladder for detour routes around a severed group pair"
+            )
+        final = ChannelClass("local", assignment.final_local_vc)
+        detour_classes.append(RouteClass(
+            "fault-detour",
+            (
+                Segment(
+                    ChannelClass("local", assignment.nonminimal_first_vc),
+                    optional=True,
+                ),
+                Segment(ChannelClass("global", assignment.nonminimal_first_vc)),
+                Segment(
+                    ChannelClass("local", assignment.intermediate_vc),
+                    optional=True,
+                ),
+                Segment(ChannelClass("global", assignment.intermediate_vc)),
+                Segment(final, optional=True),
+            ),
+        ))
+    return DegradedPathGrammar(
+        healthy=dragonfly_path_grammar(assignment, include_nonminimal=False),
+        fault_classes=tuple(fault_classes),
+        detour_classes=tuple(detour_classes),
     )
 
 

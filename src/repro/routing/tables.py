@@ -1049,6 +1049,134 @@ class TableDrivenRouting(RoutingAlgorithm):
         return entry.out_port, entry.out_vc, progress
 
 
+class DegradedTableRouting(RoutingAlgorithm):
+    """Simulate detour-recompiled tables on a degraded fabric.
+
+    ``fault_pairs`` severed group pairs (the canonical degradation of
+    :func:`repro.topology.faults.canonical_global_faults`) are routed
+    around by the compiled tables: surviving pairs stay minimal, severed
+    pairs take the programmed third-group detour.  This is the executor
+    the fault-sweep experiment drives -- throughput vs number of dead
+    cables, measured on the exact tables the verifier certified.
+
+    Tables are compiled lazily per topology (sweep workers receive only
+    the routing *name* and build topologies themselves) and cached by
+    the topology's parameters.  ``next_hop`` is overridden, which
+    disables the simulator's hop cache, and no decide-kernel lowering is
+    declared, so the array backend falls back to per-packet calls --
+    both backends execute the same table walks.
+    """
+
+    needs_credit_delay = False
+    kernel_decide = None
+    kernel_signal = None
+
+    def __init__(
+        self,
+        fault_pairs: int = 0,
+        assignment: vcs.VcAssignment = vcs.CANONICAL,
+    ) -> None:
+        if fault_pairs < 0:
+            raise ValueError(f"fault_pairs {fault_pairs} is negative")
+        self.fault_pairs = fault_pairs
+        self.assignment = assignment
+        self.name = (
+            "TBL-MIN" if fault_pairs == 0 else f"TBL-MIN/gc{fault_pairs}"
+        )
+        self._cache: Dict[
+            Tuple[int, int, int, int],
+            Tuple[ForwardingTables, FaultSet],
+        ] = {}
+
+    def _state(self, topology: Dragonfly) -> Tuple[ForwardingTables, FaultSet]:
+        key = (topology.p, topology.a, topology.h, topology.g)
+        state = self._cache.get(key)
+        if state is None:
+            from ..topology.faults import canonical_global_faults
+
+            faults = canonical_global_faults(topology, self.fault_pairs)
+            tables = compile_dragonfly_tables(
+                topology,
+                self.assignment,
+                include_nonminimal=False,
+                faults=faults,
+            )
+            state = (tables, faults)
+            self._cache[key] = state
+        return state
+
+    def decide(
+        self,
+        view: CongestionView,
+        topology: Dragonfly,
+        rng: random.Random,
+        src_router: int,
+        dst_terminal: int,
+    ) -> RoutePlan:
+        _tables, faults = self._state(topology)
+        src_group = topology.group_of(src_router)
+        dest = topology.terminal_router(dst_terminal)
+        dest_group = topology.group_of(dest)
+        if src_group == dest_group:
+            return RoutePlan(minimal=True)
+        links = [
+            link
+            for link in topology.group_links(src_group, dest_group)
+            if not faults.link_dead(link.src_router, link.dst_router)
+        ]
+        if links:
+            gc1 = (
+                links[0]
+                if len(links) == 1
+                else links[rng.randrange(len(links))]
+            )
+            return RoutePlan(minimal=True, gc1=gc1)
+        _mid, first, second = _detour_choice(
+            topology, faults, src_group, dest_group
+        )
+        return RoutePlan(minimal=False, gc1=first, gc2=second)
+
+    def next_hop(
+        self,
+        topology: Any,
+        router: int,
+        plan: RoutePlan,
+        progress: int,
+        dst_terminal: int,
+    ) -> Tuple[int, int, int]:
+        tables, _faults = self._state(topology)
+        assignment = self.assignment
+        dest = topology.terminal_router(dst_terminal)
+        dest_group = topology.group_of(dest)
+        if plan.gc1 is not None and progress == 0:
+            vc = (
+                assignment.minimal_first_vc
+                if plan.minimal
+                else assignment.nonminimal_first_vc
+            )
+            entry = tables.lookup(
+                router, (dest_group, dest, vc), {link_tag(plan.gc1)}
+            )
+        elif plan.gc2 is not None and progress == 1:
+            entry = tables.lookup(
+                router,
+                (dest_group, dest, assignment.intermediate_vc),
+                {link_tag(plan.gc2)},
+            )
+        else:
+            if router == dest:
+                return topology.terminal_port(dst_terminal), 0, progress
+            entry = tables.lookup(
+                router, (dest_group, dest, assignment.final_local_vc)
+            )
+        took_global = topology.is_global_port(entry.out_port)
+        return (
+            entry.out_port,
+            entry.out_vc,
+            progress + (1 if took_global else 0),
+        )
+
+
 # ----------------------------------------------------------------------
 # Lowerings: bind one registry configuration to its compiler, its route
 # cases (leg programs + algorithmic traces), and its hop classifier.
@@ -1200,10 +1328,11 @@ class DegradedDragonflyLowering(Lowering):
     There is no algorithmic executor for the degraded fabric -- the
     tables *are* the routing -- so cases carry no algorithmic trace and
     the verifier certifies reachability, cycle-freedom, and grammar
-    membership of the table walks alone.  Detour walks match the
-    family's published non-minimal route class; local repair hops make
-    local segments multi-hop, so the degraded grammar is the group
-    variant's (multi-hop local segments, same VC ladder).
+    membership of the table walks alone.  The grammar is the
+    fault-parametric :class:`~repro.routing.grammar.DegradedPathGrammar`
+    composed for exactly the fault classes this fault set exhibits:
+    detour walks match its ``fault-detour`` route class, and local
+    repair hops land in local segments widened to relay walks.
     """
 
     family = "dragonfly"
@@ -1231,9 +1360,10 @@ class DegradedDragonflyLowering(Lowering):
         )
 
     def grammar(self) -> PathGrammar:
-        return variant_paths.variant_path_grammar(
-            self.assignment, include_nonminimal=True
-        )
+        return paths.degraded_dragonfly_grammar(
+            self.assignment,
+            self.faults.fault_classes(self._topology),
+        ).compose()
 
     def classify_hop(self, router: int, port: int, vc: int) -> Tuple[str, int, str]:
         channel = self._topology.fabric.out_channel(router, port)

@@ -226,9 +226,31 @@ class UgalLCr(UgalLVcH):
 
 
 def make_routing(name: str) -> RoutingAlgorithm:
-    """Factory by paper name, e.g. ``make_routing("UGAL-L_CR")``."""
+    """Factory by paper name, e.g. ``make_routing("UGAL-L_CR")``.
+
+    ``TBL-MIN`` simulates minimal routing off detour-recompiled
+    forwarding tables on the healthy fabric; ``TBL-MIN/gcK`` degrades
+    the fabric first by severing K disjoint group pairs (the canonical
+    degradation of :func:`repro.topology.faults.canonical_global_faults`)
+    -- the executor of the fault-sweep experiment.
+    """
     from .minimal import MinimalRouting
     from .valiant import ValiantRouting
+
+    if name == "TBL-MIN" or name.startswith("TBL-MIN/gc"):
+        from .tables import DegradedTableRouting
+
+        fault_pairs = 0
+        if name != "TBL-MIN":
+            suffix = name[len("TBL-MIN/gc"):]
+            if not suffix.isdigit():
+                raise ValueError(
+                    f"unknown routing algorithm {name!r}; degraded table "
+                    "routings are named TBL-MIN or TBL-MIN/gcK for an "
+                    "integer number K of severed group pairs"
+                )
+            fault_pairs = int(suffix)
+        return DegradedTableRouting(fault_pairs=fault_pairs)
 
     algorithms = {
         "MIN": MinimalRouting,
@@ -240,5 +262,8 @@ def make_routing(name: str) -> RoutingAlgorithm:
         "UGAL-L_CR": UgalLCr,
     }
     if name not in algorithms:
-        raise ValueError(f"unknown routing algorithm {name!r}; choose from {sorted(algorithms)}")
+        raise ValueError(
+            f"unknown routing algorithm {name!r}; choose from "
+            f"{sorted(algorithms) + ['TBL-MIN', 'TBL-MIN/gcK']}"
+        )
     return algorithms[name]()

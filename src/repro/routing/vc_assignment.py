@@ -198,6 +198,26 @@ COLLAPSED_TWO_VC = VcAssignment(
     final_local_vc=1,
 )
 
+#: Negative control for the *degraded-family* certifier: a detour route
+#: class deliberately allowed to reuse its injection VC -- the
+#: destination-group local stage is pushed back down to VC0, the VC the
+#: detour's source-group local stage injects on.  Three detour-rerouted
+#: group pairs arranged in a ring (with distinct mid groups at every
+#: junction) then close a concrete cycle local@0 -> global@0 -> local@1
+#: -> global@1 -> local@0, and the symbolic class graph closes the same
+#: cycle because the merged VC0 local class feeds the detour's first
+#: stage.  Both the symbolic certifier (FLT codes) and the concrete
+#: table-CDG verifier (TBL001) must *refute* this assignment on a
+#: degraded fabric.
+DETOUR_VC_REUSE = VcAssignment(
+    name="detour-vc-reuse",
+    num_vcs=NUM_VCS_REQUIRED,
+    minimal_first_vc=MINIMAL_FIRST_VC,
+    nonminimal_first_vc=NONMINIMAL_FIRST_VC,
+    intermediate_vc=INTERMEDIATE_VC,
+    final_local_vc=NONMINIMAL_FIRST_VC,
+)
+
 
 def local_vc(minimal: bool, global_hops_taken: int) -> int:
     """VC for a local-channel hop at the given route progress."""

@@ -44,6 +44,10 @@ KNOWN_ROUTINGS = (
     "UGAL-L_VC",
     "UGAL-L_VCH",
     "UGAL-L_CR",
+    "TBL-MIN",
+    "TBL-MIN/gc1",
+    "TBL-MIN/gc2",
+    "TBL-MIN/gc3",
 )
 
 

@@ -1,4 +1,4 @@
-"""Tests for the repo-specific AST lint (REP001..REP005)."""
+"""Tests for the repo-specific AST lint (REP001..REP006)."""
 
 import textwrap
 
@@ -163,6 +163,63 @@ class TestAssertRule:
                     raise RuntimeError("misrouted")
         """, name="network/simulator.py")
         assert not iter_findings_by_rule(findings, "REP005")
+
+
+class TestNumpyGlobalRandom:
+    def test_np_random_call_is_flagged(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import numpy as np
+            x = np.random.rand(4)
+        """)
+        rep006 = iter_findings_by_rule(findings, "REP006")
+        assert len(rep006) == 1
+        assert rep006[0].location == "module.py:3"
+        assert "interpreter-global" in rep006[0].message
+
+    def test_numpy_random_module_alias_is_tracked(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import numpy.random as npr
+            npr.seed(0)
+        """)
+        assert iter_findings_by_rule(findings, "REP006")
+
+    def test_from_import_of_global_function_is_flagged(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            from numpy.random import shuffle
+        """)
+        assert iter_findings_by_rule(findings, "REP006")
+
+    def test_from_numpy_import_random_is_tracked(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            from numpy import random
+            random.normal(size=3)
+        """)
+        assert iter_findings_by_rule(findings, "REP006")
+
+    def test_explicit_generator_is_allowed(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import numpy as np
+            from numpy.random import Generator, default_rng
+            rng = np.random.default_rng(7)
+            state = np.random.RandomState(7)
+            values = rng.normal(size=4)
+        """)
+        assert not iter_findings_by_rule(findings, "REP006")
+
+    def test_sanctioned_transplant_modules_are_exempt(self, tmp_path):
+        for name in ("network/decide_kernel.py", "network/array_backend.py"):
+            findings = lint_snippet(tmp_path, """
+                import numpy as np
+                draws = np.random.rand(8)
+            """, name=name)
+            assert not iter_findings_by_rule(findings, "REP006"), name
+
+    def test_unrelated_random_attribute_is_ignored(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import numpy as np
+            sizes = np.arange(10)
+        """)
+        assert not iter_findings_by_rule(findings, "REP006")
 
 
 class TestTreeWalk:

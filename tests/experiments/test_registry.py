@@ -13,7 +13,7 @@ EXPECTED_IDS = {
     # ... plus extensions beyond it
     "ext_power", "ext_fb_routing", "ext_tapering",
     "ext_group_variants", "ext_cost_sensitivity",
-    "ext_four_topologies", "ext_saturation_table",
+    "ext_four_topologies", "ext_saturation_table", "ext_fault_sweep",
 }
 
 

@@ -1,0 +1,135 @@
+"""Tests for ``DegradedTableRouting``: the simulation executor that
+routes off detour-recompiled tables (``TBL-MIN`` / ``TBL-MIN/gcK``)."""
+
+import random
+
+import pytest
+
+from repro.core.params import DragonflyParams
+from repro.network.config import SimulationConfig
+from repro.network.parallel import SweepExecutor
+from repro.routing.tables import DegradedTableRouting
+from repro.routing.ugal import make_routing
+from repro.topology.dragonfly import Dragonfly
+from repro.topology.faults import canonical_global_faults
+
+
+@pytest.fixture(scope="module")
+def paper72():
+    return Dragonfly(DragonflyParams.paper_example_72())
+
+
+def walk(routing, topology, src_terminal, dst_terminal, seed=0):
+    """Drive decide + next_hop to ejection; returns the (router, port,
+    vc) trace exactly as the simulator would execute it."""
+    rng = random.Random(seed)
+    router = topology.terminal_router(src_terminal)
+    plan = routing.decide(None, topology, rng, router, dst_terminal)
+    trace = []
+    progress = 0
+    for _ in range(12):
+        port, vc, progress = routing.next_hop(
+            topology, router, plan, progress, dst_terminal
+        )
+        trace.append((router, port, vc))
+        if topology.is_terminal_port(port):
+            assert router == topology.terminal_router(dst_terminal)
+            return trace
+        channel = topology.fabric.out_channel(router, port)
+        assert channel is not None
+        router = channel.dst.router
+    raise AssertionError("route failed to terminate")
+
+
+class TestFactoryNames:
+    def test_healthy_name(self):
+        routing = make_routing("TBL-MIN")
+        assert isinstance(routing, DegradedTableRouting)
+        assert routing.fault_pairs == 0
+        assert routing.name == "TBL-MIN"
+
+    def test_degraded_name_parses_pair_count(self):
+        routing = make_routing("TBL-MIN/gc3")
+        assert routing.fault_pairs == 3
+        assert routing.name == "TBL-MIN/gc3"
+
+    def test_bad_suffix_names_the_convention(self):
+        with pytest.raises(ValueError, match="TBL-MIN/gcK"):
+            make_routing("TBL-MIN/gcfoo")
+
+    def test_negative_pairs_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            DegradedTableRouting(fault_pairs=-1)
+
+    def test_unknown_name_mentions_table_routings(self):
+        with pytest.raises(ValueError, match="TBL-MIN"):
+            make_routing("no-such-routing")
+
+
+class TestTableWalks:
+    def test_surviving_pairs_route_minimally(self, paper72):
+        routing = DegradedTableRouting(fault_pairs=1)
+        # Groups 6 and 7 keep their cable (only pair (0,1) is severed).
+        src = 6 * paper72.a * paper72.p
+        dst = 7 * paper72.a * paper72.p
+        trace = walk(routing, paper72, src, dst)
+        global_hops = [
+            (router, port) for router, port, _ in trace
+            if paper72.is_global_port(port)
+        ]
+        assert len(global_hops) == 1
+
+    def test_severed_pair_takes_the_detour(self, paper72):
+        routing = DegradedTableRouting(fault_pairs=1)
+        faults = canonical_global_faults(paper72, 1)
+        src = 0  # terminal in group 0
+        dst = 1 * paper72.a * paper72.p  # terminal in group 1
+        trace = walk(routing, paper72, src, dst)
+        global_hops = [
+            (router, port) for router, port, _ in trace
+            if paper72.is_global_port(port)
+        ]
+        # Third-group detour: two global hops, neither over a dead cable.
+        assert len(global_hops) == 2
+        for router, port in global_hops:
+            channel = paper72.fabric.out_channel(router, port)
+            assert not faults.link_dead(channel.src.router, channel.dst.router)
+
+    def test_intra_group_routes_stay_local(self, paper72):
+        routing = DegradedTableRouting(fault_pairs=2)
+        trace = walk(routing, paper72, 0, 3)
+        assert not any(
+            paper72.is_global_port(port) for _, port, _ in trace
+        )
+
+    def test_every_pair_delivers_on_degraded_fabric(self, paper72):
+        routing = DegradedTableRouting(fault_pairs=3)
+        # walk() asserts delivery at the destination router.
+        terminals = range(0, paper72.num_terminals, 7)
+        for src in terminals:
+            for dst in terminals:
+                if src != dst:
+                    walk(routing, paper72, src, dst)
+
+    def test_tables_cached_per_topology(self, paper72):
+        routing = DegradedTableRouting(fault_pairs=1)
+        walk(routing, paper72, 0, 30)
+        state = routing._state(paper72)
+        walk(routing, paper72, 0, 40)
+        assert routing._state(paper72) is state
+        tiny = Dragonfly(DragonflyParams(p=1, a=2, h=1))
+        assert routing._state(tiny) is not state
+        assert len(routing._cache) == 2
+
+
+class TestSimulation:
+    def test_degraded_routing_simulates_and_delivers(self, paper72):
+        config = SimulationConfig(
+            load=0.1, seed=2, warmup_cycles=100, measure_cycles=100,
+            drain_max_cycles=2000,
+        )
+        result = SweepExecutor().run_point(
+            paper72, "TBL-MIN/gc2", "uniform_random", config
+        )
+        assert not result.saturated
+        assert result.accepted_load > 0.08

@@ -133,11 +133,11 @@ class TestTableWalk:
 class TestFaultModel:
     def test_validate_rejects_unwired_link(self, tiny):
         faults = FaultSet.of(links=[(0, 5)])
-        with pytest.raises(TopologyError, match="does not exist"):
+        with pytest.raises(TopologyError, match="no cable is wired"):
             faults.validate(tiny)
 
     def test_validate_rejects_out_of_range_router(self, tiny):
-        with pytest.raises(TopologyError, match="out of range"):
+        with pytest.raises(TopologyError, match="routers 0..5"):
             FaultSet.of(routers=[99]).validate(tiny)
 
     def test_dead_terminals_follow_dead_routers(self, paper72):

@@ -169,3 +169,51 @@ class TestStatusQueryGc:
         counts = json.loads(capsys.readouterr().out)
         assert counts["indexed"] == 6
         assert counts["tmp_removed"] == 1
+
+
+class TestQueryBackendFilter:
+    @pytest.fixture()
+    def mixed_root(self, root, tiny_manifest):
+        """A store populated directly with mixed engine provenance."""
+        from repro.network.parallel import _run_spec
+        from repro.service.store import ResultStore
+
+        store = ResultStore(root / "store")
+        topology = tiny_manifest.topology.build()
+        provenances = [
+            {"backend": "scalar", "kernel": "none"},
+            {"backend": "array", "kernel": "ugal"},
+            {
+                "backend": "array",
+                "kernel": "none",
+                "kernel_fallback": "routing has no kernel lowering",
+            },
+        ]
+        for index, unit in enumerate(tiny_manifest.work_units(topology)):
+            result = _run_spec(topology, unit.spec)
+            result.backend_info = dict(provenances[index % len(provenances)])
+            store.put(unit.key, result, figure=tiny_manifest.figure)
+        return root
+
+    def test_backend_filter_selects_matching_points(self, mixed_root, capsys):
+        assert run_cli(
+            "--root", str(mixed_root), "query",
+            "--backend", "array", "--json",
+        ) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 4
+        assert all(row["backend"] == "array" for row in rows)
+        assert {row["kernel"] for row in rows} == {"ugal", "none"}
+
+    def test_engine_column_rendered_in_text_output(self, mixed_root, capsys):
+        assert run_cli("--root", str(mixed_root), "query") == 0
+        out = capsys.readouterr().out
+        assert "engine" in out.splitlines()[0]
+        assert "array/ugal" in out
+        assert "scalar" in out
+
+    def test_backend_filter_without_matches(self, mixed_root, capsys):
+        assert run_cli(
+            "--root", str(mixed_root), "query", "--backend", "quantum",
+        ) == 0
+        assert "no matching points" in capsys.readouterr().out

@@ -20,6 +20,32 @@ def populated(tmp_path, tiny_manifest):
     return store, topology, units
 
 
+@pytest.fixture()
+def mixed_backends(tmp_path, tiny_manifest):
+    """A store whose six points carry three distinct engine provenances:
+    scalar, array-with-kernel, and array-with-kernel-fallback (the shape
+    ``DegradedTableRouting`` produces -- no kernel lowering)."""
+    store = ResultStore(tmp_path / "store")
+    topology = tiny_manifest.topology.build()
+    units = tiny_manifest.work_units(topology)
+    provenances = [
+        {"backend": "scalar", "kernel": "none"},
+        {"backend": "array", "kernel": "ugal"},
+        {
+            "backend": "array",
+            "kernel": "none",
+            "kernel_fallback": (
+                "routing DegradedTableRouting has no kernel lowering"
+            ),
+        },
+    ]
+    for index, unit in enumerate(units):
+        result = _run_spec(topology, unit.spec)
+        result.backend_info = dict(provenances[index % len(provenances)])
+        store.put(unit.key, result, figure=tiny_manifest.figure)
+    return store, units
+
+
 class TestPutGetQuery:
     def test_put_then_get_round_trips(self, populated):
         store, topology, units = populated
@@ -71,6 +97,50 @@ class TestPutGetQuery:
 
         monkeypatch.setattr(sweep, "run_point", explode)
         assert len(store.query(figure="figtest")) == 6
+
+
+class TestBackendProvenance:
+    def test_query_filters_by_backend(self, mixed_backends):
+        store, units = mixed_backends
+        scalar = store.query(backend="scalar")
+        array = store.query(backend="array")
+        assert len(scalar) == 2
+        assert len(array) == 4
+        assert len(scalar) + len(array) == len(units)
+        assert all(p.backend == "scalar" for p in scalar)
+        assert all(p.backend == "array" for p in array)
+
+    def test_backend_filter_composes_with_others(self, mixed_backends):
+        store, _ = mixed_backends
+        points = store.query(figure="figtest", backend="array", routing="MIN")
+        assert points
+        assert all(
+            p.backend == "array" and p.routing == "MIN" for p in points
+        )
+
+    def test_kernel_provenance_survives_the_index(self, mixed_backends, tmp_path):
+        _, units = mixed_backends
+        fresh = ResultStore(tmp_path / "store")
+        kernels = {p.kernel for p in fresh.query(backend="array")}
+        assert kernels == {"ugal", "none"}
+
+    def test_engine_column_distinguishes_kernel_and_fallback(
+        self, mixed_backends
+    ):
+        from repro.service.status import render_query_rows
+
+        store, _ = mixed_backends
+        rendered = render_query_rows(store.query(figure="figtest"))
+        lines = rendered.splitlines()
+        assert "engine" in lines[0]
+        engines = {line.split()[7] for line in lines[1:]}
+        # Kernel-fallback points render as bare "array" (kernel "none"),
+        # kernel-lowered points as "array/ugal".
+        assert engines == {"scalar", "array", "array/ugal"}
+
+    def test_unknown_backend_matches_nothing(self, mixed_backends):
+        store, _ = mixed_backends
+        assert store.query(backend="quantum") == []
 
 
 class TestFigureTags:
